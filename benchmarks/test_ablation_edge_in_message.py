@@ -1,0 +1,56 @@
+"""Ablation — edge attributes in attention only vs also in messages.
+
+DESIGN.md documents the one deviation from PyG's GATConv: projected edge
+attributes are added to message contents (``edge_in_message=True``), not
+only to attention logits. This benchmark demonstrates why: on the
+WordNet-18-like dataset, whose nodes carry no features beyond DRNL,
+attention-only edge usage is provably near-blind (softmax over
+near-identical messages) and collapses toward the GCN baseline, while
+the message variant learns the planted relations.
+"""
+
+import dataclasses
+
+from repro.datasets import load_wordnet_like
+from repro.models import AMDGCNN
+from repro.seal import SEALDataset, evaluate, train, train_test_split_indices
+from repro.seal.trainer import TrainConfig
+
+
+def run_variant(ds, task, tr, te, edge_in_message: bool):
+    model = AMDGCNN(
+        ds.feature_width,
+        task.num_classes,
+        edge_dim=task.edge_attr_dim,
+        heads=2,
+        edge_in_message=edge_in_message,
+        hidden_dim=32,
+        num_conv_layers=2,
+        sort_k=25,
+        dropout=0.0,
+        rng=1,
+    )
+    train(model, ds, tr, TrainConfig(epochs=8, batch_size=16, lr=3e-3), rng=1)
+    return evaluate(model, ds, te)
+
+
+def test_ablation_edge_in_message(benchmark):
+    task = load_wordnet_like(scale=0.25, num_targets=240, rng=0)
+    ds = SEALDataset(task, rng=0)
+    tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
+    ds.prepare()
+
+    def run_both():
+        return (
+            run_variant(ds, task, tr, te, True),
+            run_variant(ds, task, tr, te, False),
+        )
+
+    with_msg, attn_only = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    print("\nAblation — GAT edge-attribute pathway (WordNet-18-like)")
+    print(f"  edge in message + attention: AUC {with_msg.auc:.3f}")
+    print(f"  attention only (PyG GATConv): AUC {attn_only.auc:.3f}")
+
+    assert with_msg.auc > 0.7
+    assert with_msg.auc > attn_only.auc + 0.05

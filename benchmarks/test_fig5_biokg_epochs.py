@@ -1,0 +1,36 @@
+"""F5 — paper Fig. 5 (a,b): AUC vs epochs on OGBL-BioKG, default & tuned.
+
+The mid-range dataset: scarce target samples and noisy relations cap
+both models below the PrimeKG levels, but AM-DGCNN still separates from
+vanilla by the end of training.
+"""
+
+import numpy as np
+
+from repro.experiments.epochs import format_epoch_sweep, run_epoch_sweep
+
+from conftest import BENCH_EPOCH_GRID, bench_targets
+
+
+def test_fig5_biokg_epochs(benchmark, runner):
+    runner.bundle("biokg", bench_targets("biokg"))
+
+    def sweep():
+        return run_epoch_sweep(
+            runner,
+            "biokg",
+            settings=("default", "tuned"),
+            epoch_grid=BENCH_EPOCH_GRID,
+            num_targets=bench_targets("biokg"),
+        )
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_epoch_sweep("biokg", curves, BENCH_EPOCH_GRID))
+
+    for setting in ("default", "tuned"):
+        am = np.array(curves[setting]["am_dgcnn"])
+        va = np.array(curves[setting]["vanilla_dgcnn"])
+        assert am[-1] > va[-1] + 0.03, setting
+        assert am[-1] > 0.65, setting  # paper reaches 0.80 at full scale
+        # AM improves over the sweep (learning, not noise).
+        assert am[-1] > am[0] - 0.02, setting

@@ -1,0 +1,37 @@
+"""F8 — paper Fig. 8 (a,b): AUC vs #training samples on OGBL-BioKG.
+
+BioKG's total sample budget is tiny (the paper calls it the dataset's
+bottleneck) — AM-DGCNN still reaches usable accuracy from ~2/3 of it.
+"""
+
+import numpy as np
+
+from repro.experiments.samples import format_sample_sweep, run_sample_sweep
+
+from conftest import BENCH_FRACTIONS, bench_targets
+
+
+def test_fig8_biokg_samples(benchmark, runner):
+    runner.bundle("biokg", bench_targets("biokg"))
+
+    def sweep():
+        return run_sample_sweep(
+            runner,
+            "biokg",
+            settings=("default", "tuned"),
+            fractions=BENCH_FRACTIONS,
+            num_targets=bench_targets("biokg"),
+        )
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_sample_sweep("biokg", curves, BENCH_FRACTIONS))
+
+    for setting in ("default", "tuned"):
+        am = np.array(curves[setting]["am_dgcnn"])
+        va = np.array(curves[setting]["vanilla_dgcnn"])
+        # AM wins at the full budget and never collapses below vanilla
+        # by more than noise at smaller budgets.
+        assert am[-1] > va[-1], setting
+        assert (am >= va - 0.06).all(), setting
+        # More data should not hurt AM much (monotone-ish trend).
+        assert am[-1] >= am[0] - 0.05, setting

@@ -1,0 +1,119 @@
+"""Performance microbenchmarks of the hot kernels.
+
+Not a paper artifact — these time the inner loops (segment ops, GAT
+forward/backward, enclosing-subgraph extraction, sort pooling) with
+pytest-benchmark's statistics so performance regressions in the NumPy
+kernels are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_primekg_like
+from repro.graph import collate, extract_enclosing_subgraph
+from repro.models.layers import GATConv
+from repro.models.sort_pool import sort_pool
+from repro.nn.indexing import gather, segment_softmax, segment_sum
+from repro.nn.losses import cross_entropy
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def edge_workload():
+    gen = np.random.default_rng(0)
+    n, e, f = 2000, 16000, 64
+    x = gen.normal(size=(n, f))
+    src = gen.integers(0, n, size=e)
+    dst = gen.integers(0, n, size=e)
+    return x, src, dst, n
+
+
+def test_segment_sum_throughput(benchmark, edge_workload):
+    x, src, dst, n = edge_workload
+    msgs = Tensor(x[src])
+    out = benchmark(lambda: segment_sum(msgs, dst, n))
+    assert out.shape == (n, x.shape[1])
+
+
+def test_gather_throughput(benchmark, edge_workload):
+    x, src, dst, n = edge_workload
+    xt = Tensor(x)
+    out = benchmark(lambda: gather(xt, src))
+    assert out.shape == (len(src), x.shape[1])
+
+
+def test_segment_softmax_throughput(benchmark, edge_workload):
+    _, src, dst, n = edge_workload
+    logits = Tensor(np.random.default_rng(1).normal(size=(len(dst), 4)))
+    out = benchmark(lambda: segment_softmax(logits, dst, n))
+    assert out.shape == (len(dst), 4)
+
+
+def test_gat_forward_backward(benchmark, edge_workload):
+    x, src, dst, n = edge_workload
+    ei = np.stack([src, dst])
+    ea = np.eye(8)[np.random.default_rng(2).integers(0, 8, size=len(src))]
+    conv = GATConv(x.shape[1], 32, heads=2, edge_dim=8, rng=0)
+
+    def step():
+        xt = Tensor(x, requires_grad=True)
+        out = conv(xt, ei, ea)
+        loss = (out * out).mean()
+        loss.backward()
+        return float(loss.data)
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def test_subgraph_extraction_rate(benchmark):
+    task = load_primekg_like(scale=0.4, num_targets=64, rng=0)
+
+    def extract_all():
+        sizes = []
+        for u, v in task.pairs[:32]:
+            sub = extract_enclosing_subgraph(
+                task.graph, int(u), int(v), k=2, mode="intersection", max_nodes=100, rng=0
+            )
+            sizes.append(sub.num_nodes)
+        return sizes
+
+    sizes = benchmark(extract_all)
+    assert len(sizes) == 32
+
+
+def test_sort_pool_throughput(benchmark):
+    gen = np.random.default_rng(3)
+    graphs = 64
+    counts = gen.integers(20, 90, size=graphs)
+    batch = np.repeat(np.arange(graphs), counts)
+    x = Tensor(gen.normal(size=(int(counts.sum()), 40)))
+    out = benchmark(lambda: sort_pool(x, batch, graphs, k=30))
+    assert out.shape == (graphs, 30, 40)
+
+
+def test_training_step_cost(benchmark):
+    """One full DGCNN training step on a realistic mini-batch."""
+    from repro.experiments.config import DEFAULT_HPARAMS, build_model
+    from repro.nn.optim import Adam
+    from repro.seal import SEALDataset
+
+    task = load_primekg_like(scale=0.25, num_targets=48, rng=0)
+    ds = SEALDataset(task, rng=0)
+    ds.prepare()
+    batch, labels = ds.batch(np.arange(16))
+    model = build_model(
+        "am_dgcnn", ds.feature_width, task.num_classes, task.edge_attr_dim,
+        DEFAULT_HPARAMS, rng=0,
+    )
+    opt = Adam(model.parameters(), lr=1e-3)
+
+    def step():
+        opt.zero_grad()
+        loss = cross_entropy(model(batch), labels)
+        loss.backward()
+        opt.step()
+        return float(loss.data)
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)

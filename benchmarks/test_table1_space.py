@@ -1,0 +1,38 @@
+"""T1 — paper Table I: the hyperparameter search space.
+
+Prints the space and benchmarks sampling+encoding throughput; asserts
+every sampled configuration falls inside the declared bounds (the
+contract the CBO tuner relies on).
+"""
+
+import numpy as np
+
+from repro.tuning.space import Choice, Integer, Real, paper_table1_space
+
+
+def test_table1_search_space(benchmark):
+    space = paper_table1_space()
+
+    def sample_and_encode():
+        gen = np.random.default_rng(0)
+        configs = [space.sample(gen) for _ in range(512)]
+        encoded = np.stack([space.encode(c) for c in configs])
+        return configs, encoded
+
+    configs, encoded = benchmark.pedantic(sample_and_encode, rounds=3, iterations=1)
+
+    print("\nTable I — Hyperparameters of GNNs and their options")
+    for dim in space.dimensions:
+        if isinstance(dim, Real):
+            print(f"  {dim.name:<12} [{dim.low:g}, {dim.high:g}]" + (" (log)" if dim.log else ""))
+        elif isinstance(dim, Choice):
+            print(f"  {dim.name:<12} {dim.options}")
+        elif isinstance(dim, Integer):
+            print(f"  {dim.name:<12} {dim.low}, {dim.low+1}, ..., {dim.high}")
+
+    assert all(space.contains(c) for c in configs)
+    assert encoded.shape == (512, space.encoded_width)
+    assert encoded.min() >= 0.0 and encoded.max() <= 1.0
+    lrs = np.array([c["lr"] for c in configs])
+    assert lrs.min() >= 1e-6 and lrs.max() <= 1e-2
+    assert {c["hidden_dim"] for c in configs} <= {16, 32, 64, 128}

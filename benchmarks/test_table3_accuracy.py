@@ -1,0 +1,56 @@
+"""T3 — paper Table III: AUC/AP of AM-DGCNN vs vanilla DGCNN, 4 datasets.
+
+The headline result. Trains both models with tuned hyperparameters on
+each dataset (reduced scale) and asserts the paper's qualitative
+ordering: AM-DGCNN wins everywhere the dataset carries edge attributes,
+with the largest gap on WordNet-18 and near-parity on Cora.
+"""
+
+from repro.experiments.config import hyperparams_for
+from repro.experiments.report import PAPER_TABLE3
+from repro.experiments.table3 import format_table3
+
+from conftest import bench_targets
+
+
+def run_cell(runner, dataset, model):
+    hp = hyperparams_for(dataset, model, "tuned")
+    return runner.run(
+        dataset, model, hp, num_targets=bench_targets(dataset), eval_each_epoch=False
+    )
+
+
+def test_table3_accuracy(benchmark, runner):
+    def run_all():
+        results = {}
+        for ds in ("primekg", "biokg", "wordnet", "cora"):
+            results[ds] = {
+                m: run_cell(runner, ds, m) for m in ("am_dgcnn", "vanilla_dgcnn")
+            }
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\nTable III — measured (reduced scale) vs paper")
+    print(format_table3(results))
+
+    am = {ds: r["am_dgcnn"] for ds, r in results.items()}
+    va = {ds: r["vanilla_dgcnn"] for ds, r in results.items()}
+
+    # Edge-attribute datasets: clear AM win on both metrics.
+    for ds in ("primekg", "biokg", "wordnet"):
+        assert am[ds].auc > va[ds].auc + 0.05, ds
+        assert am[ds].ap > va[ds].ap, ds
+    # PrimeKG is the strongest row in the paper (0.99 vs 0.75).
+    assert am["primekg"].auc > 0.9
+    # WordNet: vanilla behaves like a random guesser (paper §V-C).
+    assert va["wordnet"].auc < 0.65
+    assert am["wordnet"].auc > 0.7
+    # Cora (no edge attributes): near-parity; AM must not lose badly.
+    assert am["cora"].auc > va["cora"].auc - 0.05
+    # Shape vs paper: per-dataset AM ordering follows the paper's
+    # ordering (primekg strongest, biokg/wordnet mid).
+    paper_am = {ds: PAPER_TABLE3[ds]["am_dgcnn"]["auc"] for ds in am}
+    assert (am["primekg"].auc > am["biokg"].auc) == (
+        paper_am["primekg"] > paper_am["biokg"]
+    )

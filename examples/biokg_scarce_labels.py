@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Scarce labels and imbalanced relations: the OGBL-BioKG scenario.
+
+The paper notes BioKG's bottleneck is "the limited number of data
+samples in the target category" (§IV). This example works a BioKG-like
+protein–protein task with 7 relation classes (one of them noise-rare):
+
+* class-weighted training for the imbalance,
+* best-epoch checkpointing (``restore_best``),
+* evaluation with the paper's metrics plus KG-style MRR / Hits@k,
+* a per-class confusion readout identifying the starved class.
+
+Run:  python examples/biokg_scarce_labels.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_biokg_like
+from repro.metrics import ranking_report
+from repro.models import AMDGCNN
+from repro.seal import (
+    SEALDataset,
+    TrainConfig,
+    evaluate,
+    train,
+    train_test_split_indices,
+)
+
+
+def main() -> None:
+    task = load_biokg_like(scale=0.4, num_targets=320, rng=0)
+    counts = task.class_counts()
+    print(f"graph: {task.graph}")
+    print("class counts:", dict(zip(task.class_names, counts.tolist())))
+    print(f"rarest class has {counts.min()} examples — the paper's bottleneck\n")
+
+    dataset = SEALDataset(task, rng=0)
+    train_idx, test_idx = train_test_split_indices(
+        task.num_links, 0.25, labels=task.labels, rng=0
+    )
+    dataset.prepare()
+
+    # Inverse-frequency class weights mitigate the imbalance.
+    weights = counts.sum() / np.maximum(counts, 1) / task.num_classes
+
+    model = AMDGCNN(
+        dataset.feature_width,
+        task.num_classes,
+        edge_dim=task.edge_attr_dim,
+        heads=2,
+        hidden_dim=32,
+        num_conv_layers=2,
+        sort_k=25,
+        dropout=0.0,
+        rng=1,
+    )
+    history = train(
+        model,
+        dataset,
+        train_idx,
+        TrainConfig(
+            epochs=10,
+            batch_size=16,
+            lr=3e-3,
+            class_weights=weights,
+            restore_best=True,  # keep the best-AUC epoch's weights
+        ),
+        eval_indices=test_idx,
+        rng=1,
+    )
+    print(f"per-epoch AUC: {[f'{a:.2f}' for a in history.eval_auc]}")
+    print(f"best epoch: {history.best_epoch + 1} (restored)\n")
+
+    result = evaluate(model, dataset, test_idx)
+    print(f"AUC {result.auc:.3f}  AP {result.ap:.3f}  accuracy {result.accuracy:.3f}")
+    print("KG ranking metrics:", {
+        k: round(v, 3) for k, v in ranking_report(result.labels, result.probs).items()
+    })
+
+    print("\nconfusion matrix (rows = true class):")
+    for i, row in enumerate(result.confusion):
+        print(f"  {task.class_names[i]:<16} {row.tolist()}")
+    starved = int(np.argmin(counts))
+    print(
+        f"\nReading: '{task.class_names[starved]}' has almost no training "
+        "examples (it only arises through label noise), so it is never "
+        "predicted — the scarcity effect the paper describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

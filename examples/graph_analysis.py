@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Structural analysis of the four synthetic knowledge graphs.
+
+Prints a structural report per dataset (components, clustering,
+assortativity, degree profile) and per-pair heuristic scores, showing
+*why* each dataset behaves the way it does in the paper's experiments:
+Cora is clustered and assortative (topology-driven), WordNet is
+structurally featureless (edge-attribute-driven), BioKG carries a
+degree gradient (the vanilla model's partial signal).
+
+Run:  python examples/graph_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import dataset_names, load_dataset
+from repro.graph import graph_report
+
+
+def main() -> None:
+    print(f"{'dataset':<10} {'nodes':>6} {'arcs':>7} {'comp':>5} {'lcc%':>6} "
+          f"{'clust':>7} {'assort':>8} {'deg-mean':>9} {'deg-max':>8}")
+    reports = {}
+    for name in dataset_names():
+        task = load_dataset(name, scale=0.3, rng=0, num_targets=100)
+        rep = graph_report(task.graph)
+        reports[name] = rep
+        print(
+            f"{name:<10} {rep['num_nodes']:>6} {rep['num_arcs']:>7} "
+            f"{rep['components']:>5} {100*rep['largest_component_fraction']:>5.1f}% "
+            f"{rep['clustering']:>7.3f} {rep['assortativity']:>8.3f} "
+            f"{rep['degree']['mean']:>9.2f} {rep['degree']['max']:>8.0f}"
+        )
+
+    print(
+        "\nReading:\n"
+        "  * cora shows the highest clustering — its link-existence task is\n"
+        "    solvable from topology (common neighbors), which is why both\n"
+        "    GCN- and GAT-based models do well there (paper Fig. 3).\n"
+        "  * wordnet's clustering is near the random-graph baseline and its\n"
+        "    assortativity ~0: topology carries nothing, relations carry\n"
+        "    everything (paper §V-C).\n"
+        "  * biokg has the heaviest degree tail (role-correlated hubs) —\n"
+        "    the partial signal an edge-blind model can still exploit."
+    )
+
+    # Verify the claims quantitatively.
+    assert reports["cora"]["clustering"] > reports["wordnet"]["clustering"]
+    assert (
+        reports["biokg"]["degree"]["tail_ratio"]
+        > reports["wordnet"]["degree"]["tail_ratio"]
+    )
+    print("\nstructural ordering checks passed")
+
+
+if __name__ == "__main__":
+    main()

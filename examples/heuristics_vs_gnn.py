@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Classical heuristics vs supervised heuristic learning (paper §I, §VI).
+
+Scores held-out links with the classical toolbox — common neighbors,
+Jaccard, Adamic–Adar, preferential attachment, Katz, rooted PageRank —
+then with a logistic-regression classifier over those features, and
+finally with AM-DGCNN. On a community-structured citation graph the
+heuristics are competitive; on a knowledge graph whose classes live in
+edge attributes they collapse, which is the paper's motivation for
+learning the heuristic inside a GNN that can read link information.
+
+Run:  python examples/heuristics_vs_gnn.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_cora_like, load_wordnet_like
+from repro.heuristics import (
+    HeuristicLinkClassifier,
+    adamic_adar,
+    common_neighbors,
+    jaccard_coefficient,
+    katz_index,
+    preferential_attachment,
+    rooted_pagerank,
+)
+from repro.metrics import multiclass_auc, roc_auc
+from repro.models import AMDGCNN
+from repro.seal import (
+    SEALDataset,
+    TrainConfig,
+    evaluate,
+    train,
+    train_test_split_indices,
+)
+
+
+def score_raw_heuristics(task, test_idx) -> None:
+    """AUC of each raw heuristic as a link-existence score (Cora only).
+
+    The scored pairs' own edges are removed first — otherwise any
+    heuristic that counts the direct edge (Katz, PageRank) reads the
+    label straight off the adjacency (AUC 1.0, leakage).
+    """
+    from repro.heuristics import graph_without_pairs
+
+    pairs = task.pairs[test_idx]
+    labels = task.labels[test_idx]
+    graph = graph_without_pairs(task.graph, pairs)
+    scorers = {
+        "common neighbors": common_neighbors,
+        "jaccard": jaccard_coefficient,
+        "adamic-adar": adamic_adar,
+        "pref. attachment": preferential_attachment,
+        "katz (beta=.005)": lambda g, p: katz_index(g, p, beta=0.005),
+        "rooted pagerank": rooted_pagerank,
+    }
+    print("  raw heuristic scores (one-feature classifiers, leakage-guarded):")
+    for name, fn in scorers.items():
+        auc = roc_auc(labels, fn(graph, pairs))
+        print(f"    {name:<18} AUC {auc:.3f}")
+
+
+def run_gnn(task, train_idx, test_idx) -> float:
+    dataset = SEALDataset(task, rng=0)
+    dataset.prepare()
+    model = AMDGCNN(
+        dataset.feature_width,
+        task.num_classes,
+        edge_dim=task.edge_attr_dim,
+        heads=2,
+        hidden_dim=32,
+        num_conv_layers=2,
+        sort_k=25,
+        dropout=0.0,
+        rng=1,
+    )
+    train(model, dataset, train_idx, TrainConfig(epochs=8, batch_size=16, lr=3e-3), rng=1)
+    return evaluate(model, dataset, test_idx).auc
+
+
+def main() -> None:
+    for loader, label in [
+        (lambda: load_cora_like(scale=0.3, num_targets=240, rng=0), "Cora-like (topology-driven)"),
+        (lambda: load_wordnet_like(scale=0.3, num_targets=300, rng=0), "WordNet-18-like (edge-attribute-driven)"),
+    ]:
+        task = loader()
+        tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
+        print(f"\n== {label} ==")
+        if task.num_classes == 2:
+            score_raw_heuristics(task, te)
+
+        clf = HeuristicLinkClassifier(num_classes=task.num_classes, epochs=250, rng=0)
+        clf.fit(task.graph, task.pairs[tr], task.labels[tr])
+        probs = clf.predict_proba(task.graph, task.pairs[te])
+        heur_auc = multiclass_auc(task.labels[te], probs)
+        print(f"  heuristic-feature classifier: AUC {heur_auc:.3f}")
+
+        gnn_auc = run_gnn(task, tr, te)
+        print(f"  AM-DGCNN (SEAL):              AUC {gnn_auc:.3f}")
+
+    print(
+        "\nReading: heuristics encode topology only — good enough for a\n"
+        "citation graph, blind on a knowledge graph whose link classes are\n"
+        "written in the edge attributes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Auto-tune AM-DGCNN hyperparameters with CBO (the DeepHyper stand-in).
+
+Reproduces the paper's §III-D procedure: define the Table I search space
+(learning rate, GNN hidden width, SortPooling k), wrap model training in
+an evaluator that returns held-out AUC, and run centralized Bayesian
+optimization. A random-search baseline at the same budget shows what the
+surrogate buys. This is the exact procedure that produced the baked-in
+``TUNED_HPARAMS`` in ``repro.experiments.config``.
+
+Run:  python examples/hyperparameter_tuning.py  [--trials N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.datasets import load_cora_like
+from repro.models import AMDGCNN
+from repro.seal import (
+    SEALDataset,
+    TrainConfig,
+    evaluate,
+    train,
+    train_test_split_indices,
+)
+from repro.tuning import CBOTuner, paper_table1_space, random_search
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trials", type=int, default=10, help="tuning budget")
+    args = parser.parse_args()
+
+    # The paper tunes on Cora first (the "default" setting applied to the
+    # other datasets); we do the same at reduced scale.
+    task = load_cora_like(scale=0.25, num_targets=180, rng=0)
+    dataset = SEALDataset(task, rng=0)
+    train_idx, valid_idx = train_test_split_indices(
+        task.num_links, 0.3, labels=task.labels, rng=0
+    )
+    dataset.prepare()
+
+    def evaluator(config) -> float:
+        """Train with `config`, return validation AUC (the CBO objective)."""
+        model = AMDGCNN(
+            dataset.feature_width,
+            task.num_classes,
+            edge_dim=task.edge_attr_dim,
+            heads=2,
+            hidden_dim=int(config["hidden_dim"]),
+            num_conv_layers=2,
+            sort_k=int(config["sort_k"]),
+            dropout=0.0,
+            rng=1,
+        )
+        train(
+            model,
+            dataset,
+            train_idx,
+            TrainConfig(epochs=5, batch_size=16, lr=float(config["lr"])),
+            rng=1,
+        )
+        return evaluate(model, dataset, valid_idx).auc
+
+    space = paper_table1_space()
+    print(f"search space: {[d.name for d in space.dimensions]}")
+    print(f"budget: {args.trials} trials\n")
+
+    print("== centralized Bayesian optimization (paper §III-D) ==")
+    tuner = CBOTuner(space, n_initial=min(4, args.trials), candidate_pool=256, rng=0)
+    cbo = tuner.run(evaluator, args.trials, callback=lambda t: print(
+        f"  trial {t.index:>2}: AUC {t.score:.3f}  {t.config}"
+    ))
+    print(f"best: AUC {cbo.best_score:.3f} with {cbo.best_config}\n")
+
+    print("== random search at the same budget ==")
+    rnd = random_search(space, evaluator, args.trials, rng=0)
+    print(f"best: AUC {rnd.best_score:.3f} with {rnd.best_config}\n")
+
+    print(f"CBO best-so-far trace:    {[f'{v:.2f}' for v in cbo.score_trace()]}")
+    print(f"random best-so-far trace: {[f'{v:.2f}' for v in rnd.score_trace()]}")
+
+
+if __name__ == "__main__":
+    main()

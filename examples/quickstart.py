@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Quickstart: classify drug–disease links with AM-DGCNN in ~2 minutes.
+
+Walks through the full pipeline on the PrimeKG-like dataset:
+
+1. load a knowledge graph with labeled target links,
+2. materialize SEAL enclosing subgraphs + node attribute matrices,
+3. train AM-DGCNN and the vanilla-DGCNN baseline,
+4. report AUC / AP / accuracy on held-out links.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_primekg_like
+from repro.models import AMDGCNN, VanillaDGCNN
+from repro.seal import (
+    SEALDataset,
+    TrainConfig,
+    evaluate,
+    train,
+    train_test_split_indices,
+)
+from repro.utils import Timer, set_verbosity
+
+
+def main() -> None:
+    set_verbosity("INFO")  # show per-epoch progress
+
+    # 1. A PrimeKG-like knowledge graph: 10 node types, 30 relations
+    #    compressed into positive/negative edge attributes, and drug-
+    #    disease links labeled indication / off-label / contra-indication.
+    task = load_primekg_like(scale=0.3, num_targets=240, rng=0)
+    print(f"graph: {task.graph}")
+    print(f"links: {task.num_links} in classes {dict(zip(task.class_names, task.class_counts()))}")
+
+    # 2. SEAL preprocessing: one enclosing subgraph per link (the link
+    #    itself removed), node features = type one-hot ‖ DRNL one-hot ‖
+    #    explicit features.
+    dataset = SEALDataset(task, rng=0)
+    train_idx, test_idx = train_test_split_indices(
+        task.num_links, test_fraction=0.25, labels=task.labels, rng=0
+    )
+    with Timer() as t:
+        dataset.prepare()
+    print(f"extracted {len(dataset)} enclosing subgraphs in {t.elapsed:.1f}s")
+
+    # 3. Train both models with identical readouts; the only difference
+    #    is the message-passing layer (GAT+edge-attrs vs GCN).
+    config = TrainConfig(epochs=8, batch_size=16, lr=3e-3)
+    results = {}
+    for name, model in [
+        (
+            "AM-DGCNN",
+            AMDGCNN(
+                dataset.feature_width,
+                task.num_classes,
+                edge_dim=task.edge_attr_dim,
+                heads=2,
+                hidden_dim=32,
+                num_conv_layers=2,
+                sort_k=25,
+                dropout=0.0,
+                rng=1,
+            ),
+        ),
+        (
+            "vanilla DGCNN",
+            VanillaDGCNN(
+                dataset.feature_width,
+                task.num_classes,
+                hidden_dim=32,
+                num_conv_layers=2,
+                sort_k=25,
+                dropout=0.0,
+                rng=1,
+            ),
+        ),
+    ]:
+        with Timer() as t:
+            train(model, dataset, train_idx, config, rng=1)
+        results[name] = evaluate(model, dataset, test_idx)
+        print(f"{name}: trained in {t.elapsed:.1f}s ({model.num_parameters()} params)")
+
+    # 4. The paper's Table III comparison, in miniature.
+    print("\nmodel            AUC    AP     accuracy")
+    for name, res in results.items():
+        print(f"{name:<15} {res.auc:.3f}  {res.ap:.3f}  {res.accuracy:.3f}")
+    gap = results["AM-DGCNN"].auc - results["vanilla DGCNN"].auc
+    print(f"\nAM-DGCNN beats vanilla DGCNN by {gap:+.3f} AUC "
+          f"(paper: +0.24 on full-size PrimeKG)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Edge attributes as the *only* signal: the WordNet-18 scenario.
+
+The paper's sharpest result (§V-C): on a homogeneous graph with no node
+features, an edge-attribute-blind model cannot beat random guessing,
+while AM-DGCNN reads the relation types of the surrounding edges and
+classifies links well. This example reproduces that contrast and also
+shows the intermediate ablation — a GAT that sees edge attributes only
+through attention logits — to explain *where* the information flows.
+
+Run:  python examples/wordnet_edge_attributes.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_wordnet_like
+from repro.models import AMDGCNN, VanillaDGCNN
+from repro.seal import (
+    SEALDataset,
+    TrainConfig,
+    evaluate,
+    train,
+    train_test_split_indices,
+)
+
+
+def build_models(dataset: SEALDataset, task):
+    common = dict(hidden_dim=32, num_conv_layers=2, sort_k=25, dropout=0.0, rng=1)
+    return {
+        "AM-DGCNN (edge attrs in messages + attention)": AMDGCNN(
+            dataset.feature_width,
+            task.num_classes,
+            edge_dim=task.edge_attr_dim,
+            heads=2,
+            edge_in_message=True,
+            **common,
+        ),
+        "GAT, attention-only edge attrs (PyG GATConv)": AMDGCNN(
+            dataset.feature_width,
+            task.num_classes,
+            edge_dim=task.edge_attr_dim,
+            heads=2,
+            edge_in_message=False,
+            **common,
+        ),
+        "vanilla DGCNN (edge-attr blind)": VanillaDGCNN(
+            dataset.feature_width, task.num_classes, **common
+        ),
+    }
+
+
+def main() -> None:
+    # WordNet-18-like: 1 node type, no node features, 18 relations.
+    # The node attribute matrix is the DRNL one-hot alone.
+    task = load_wordnet_like(scale=0.4, num_targets=500, rng=0)
+    print(f"graph: {task.graph} — node features: {task.graph.node_features}")
+    print(f"feature width (DRNL only): {task.feature_config.width}")
+
+    dataset = SEALDataset(task, rng=0)
+    train_idx, test_idx = train_test_split_indices(
+        task.num_links, 0.25, labels=task.labels, rng=0
+    )
+    dataset.prepare()
+
+    config = TrainConfig(epochs=10, batch_size=16, lr=3e-3)
+    print(f"\ntraining 3 models on {len(train_idx)} links "
+          f"({task.num_classes} relation classes)\n")
+    rows = []
+    for name, model in build_models(dataset, task).items():
+        train(model, dataset, train_idx, config, rng=1)
+        res = evaluate(model, dataset, test_idx)
+        rows.append((name, res))
+        print(f"  {name:<48} AUC {res.auc:.3f}  AP {res.ap:.3f}")
+
+    print(
+        "\nReading: the vanilla model hovers at AUC≈0.5 (random) because\n"
+        "topology and DRNL carry no relation information here; attention-only\n"
+        "edge usage recovers little because the softmax cancels over the\n"
+        "feature-poor messages; projecting edge attributes into message\n"
+        "contents recovers the planted relational rule (paper: 0.85 vs 0.52)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Maintenance script: regenerate TUNED_HPARAMS for repro.experiments.config.
+
+Runs the CBO tuner (paper §III-D, Table I space) for each (dataset,
+model) pair on a validation split at reduced scale and prints the best
+configurations as a Python dict ready to paste into
+``repro/experiments/config.py``. This is the provenance of the baked-in
+values — rerun after changing the datasets or models.
+
+Usage:  python scripts/run_tuning.py [--trials 8] [--scale 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.datasets import dataset_names, load_dataset
+from repro.experiments.config import MODEL_NAMES, ModelHyperparams, build_model
+from repro.seal import (
+    SEALDataset,
+    TrainConfig,
+    evaluate,
+    train,
+    train_test_split_indices,
+)
+from repro.tuning import CBOTuner, paper_table1_space
+
+TUNE_TARGETS = {"primekg": 300, "biokg": 200, "wordnet": 300, "cora": 200}
+
+
+def make_evaluator(ds, task, tr, va, model_name):
+    def evaluator(config) -> float:
+        hp = ModelHyperparams(
+            lr=float(config["lr"]),
+            hidden_dim=int(config["hidden_dim"]),
+            sort_k=int(config["sort_k"]),
+        )
+        model = build_model(
+            model_name, ds.feature_width, task.num_classes, task.edge_attr_dim,
+            hp, rng=1,
+        )
+        train(
+            model, ds, tr,
+            TrainConfig(epochs=5, batch_size=16, lr=hp.lr),
+            rng=1,
+        )
+        return evaluate(model, ds, va).auc
+
+    return evaluator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trials", type=int, default=8)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--datasets", nargs="*", default=None)
+    args = parser.parse_args()
+
+    results = {}
+    for name in args.datasets or dataset_names():
+        task = load_dataset(name, scale=args.scale, rng=0, num_targets=TUNE_TARGETS[name])
+        ds = SEALDataset(task, rng=0)
+        tr, va = train_test_split_indices(task.num_links, 0.3, labels=task.labels, rng=0)
+        ds.prepare()
+        results[name] = {}
+        for model_name in MODEL_NAMES:
+            t0 = time.time()
+            tuner = CBOTuner(
+                paper_table1_space(), n_initial=4, candidate_pool=256, rng=0
+            )
+            res = tuner.run(make_evaluator(ds, task, tr, va, model_name), args.trials)
+            best = res.best_config
+            results[name][model_name] = {
+                "lr": round(float(best["lr"]), 6),
+                "hidden_dim": int(best["hidden_dim"]),
+                "sort_k": int(best["sort_k"]),
+                "val_auc": round(res.best_score, 4),
+            }
+            print(
+                f"{name}/{model_name}: best {results[name][model_name]} "
+                f"({time.time() - t0:.0f}s)",
+                flush=True,
+            )
+    print("\n" + json.dumps(results, indent=2))
+
+
+if __name__ == "__main__":
+    main()

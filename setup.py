@@ -1,0 +1,17 @@
+"""Setuptools shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP-660
+editable installs fail; ``python setup.py develop`` (or ``pip install -e .``
+where wheel is available) both work through this shim.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["repro=repro.__main__:main"]},
+)

@@ -1,0 +1,23 @@
+"""repro — reproduction of AM-DGCNN (Pandey & Shu, SC-W 2024).
+
+Link classification in knowledge graphs with the SEAL framework, comparing
+a vanilla DGCNN (GCN message passing, edge-attribute-blind) against the
+paper's AM-DGCNN (GAT message passing consuming edge attributes).
+
+Subpackages
+-----------
+``repro.nn``          NumPy autograd + NN substrate (torch stand-in)
+``repro.graph``       graph containers, traversal, enclosing subgraphs
+``repro.seal``        SEAL pipeline: DRNL labeling, datasets, training
+``repro.models``      GCNConv / GATConv layers, DGCNN, AM-DGCNN
+``repro.heuristics``  classical link-scoring baselines
+``repro.embeddings``  node2vec (walks + skip-gram)
+``repro.datasets``    synthetic KG generators matching the paper's datasets
+``repro.tuning``      Bayesian-optimization hyperparameter search
+``repro.metrics``     AUC / AP / classification metrics
+``repro.experiments`` drivers regenerating every table and figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,70 @@
+"""Command-line entry: ``python -m repro <command>``.
+
+Commands
+--------
+``table3``   — regenerate paper Table III
+``epochs``   — regenerate a Figs 3–6 panel (``--dataset`` required)
+``samples``  — regenerate a Figs 7–9 panel (``--dataset`` required)
+``datasets`` — print Table II schema/stat summary
+``version``  — print the package version
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "version":
+        from repro import __version__
+
+        print(__version__)
+        return 0
+    if command == "table3":
+        sys.argv = ["repro-table3", *rest]
+        from repro.experiments.table3 import main as run
+
+        run()
+        return 0
+    if command == "epochs":
+        sys.argv = ["repro-epochs", *rest]
+        from repro.experiments.epochs import main as run
+
+        run()
+        return 0
+    if command == "samples":
+        sys.argv = ["repro-samples", *rest]
+        from repro.experiments.samples import main as run
+
+        run()
+        return 0
+    if command == "datasets":
+        from repro.datasets import PAPER_SCHEMAS, dataset_names, load_dataset
+        from repro.experiments.report import render_table
+
+        rows = []
+        for name in dataset_names():
+            task = load_dataset(name, scale=0.25, rng=0, num_targets=100)
+            schema = PAPER_SCHEMAS[name]
+            rows.append(
+                [
+                    schema.name,
+                    f"{schema.paper_node_types}/{task.graph.num_node_types}",
+                    f"{schema.paper_edge_types}/{task.graph.num_edge_types}",
+                    f"{schema.paper_nodes}/{task.graph.num_nodes}",
+                    schema.task,
+                ]
+            )
+        print(render_table(["Dataset", "#NodeT", "#EdgeT", "#Nodes", "Task"], rows))
+        return 0
+    print(f"unknown command {command!r}; try --help", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""OGBL-BioKG-like dataset (paper §IV).
+
+Schema mirrored from OGBL-BioKG at reduced scale: 5 node types, 51
+relations with full one-hot edge attributes, protein–protein target links
+classified into 7 relation classes. The paper notes the bottleneck is the
+*limited number of samples in the target category* — reproduced by a small
+target-link budget and a 7th class that only arises from label noise
+(scarce positives).
+
+Planted structure: three latent roles → six role-pair classes (class 6 is
+the noise-only rare class); moderate assortativity and higher edge-type
+noise than PrimeKG give the paper's mid-range AUC (0.80 vs 0.66 shape).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import PlantedKG, PlantedKGConfig, generate_planted_kg
+from repro.seal.dataset import LinkTask
+from repro.seal.features import FeatureConfig
+from repro.utils.rng import RngLike
+
+__all__ = ["biokg_config", "load_biokg_like", "BIOKG_CLASS_NAMES"]
+
+BIOKG_CLASS_NAMES = [f"ppi_relation_{i}" for i in range(7)]
+
+PROTEIN_TYPE = 0  # node types: 0=protein, 1=drug, 2=disease, 3=function, 4=side-effect
+
+
+def biokg_config(scale: float = 1.0, num_targets: int = 375) -> PlantedKGConfig:
+    """Generator config; ``scale`` multiplies the node count."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return PlantedKGConfig(
+        num_nodes=max(200, int(1500 * scale)),
+        num_node_types=5,
+        num_roles=3,
+        num_relations=51,
+        avg_degree=8.0,
+        assortativity=0.25,
+        edge_type_noise=0.25,  # noisier relations → mid-range ceiling
+        degree_skew=2.5,  # roles leave a hub-ness footprint: vanilla's mid signal
+        edge_attr_mode="onehot",
+        node_feature_mode="none",
+        num_targets=num_targets,
+        target_type_pair=(PROTEIN_TYPE, PROTEIN_TYPE),
+        num_classes=7,
+        class_rule="pair_mod",  # 6 role-pair classes; class 6 = noise-only
+        label_noise=0.1,
+        name="biokg-like",
+    )
+
+
+def load_biokg_like(scale: float = 1.0, num_targets: int = 375, rng: RngLike = 0) -> LinkTask:
+    """Build the OGBL-BioKG-like :class:`~repro.seal.dataset.LinkTask`."""
+    cfg = biokg_config(scale, num_targets)
+    kg: PlantedKG = generate_planted_kg(cfg, rng)
+    features = FeatureConfig(
+        num_node_types=cfg.num_node_types,
+        use_drnl=True,
+        explicit_dim=0,  # BioKG carries no explicit node features
+    )
+    return LinkTask(
+        graph=kg.graph,
+        pairs=kg.target_pairs,
+        labels=kg.target_labels,
+        num_classes=cfg.num_classes,
+        feature_config=features,
+        class_names=BIOKG_CLASS_NAMES,
+        name="biokg",
+        subgraph_mode="union",
+        num_hops=2,
+        max_subgraph_nodes=100,
+        edge_attr_dim=cfg.edge_attr_dim,
+    )

@@ -1,0 +1,77 @@
+"""Cora-like dataset (paper §IV).
+
+Schema mirrored from the Planetoid Cora citation network at reduced
+scale: ~7 topic communities, a single edge type and **no edge
+attributes**. The task is binary link prediction (existence), the paper's
+control experiment: with no edge features to exploit, the comparison
+reduces to GAT-vs-GCN node-feature message passing, where the paper still
+finds a modest GAT advantage (0.91 vs 0.84 AUC).
+
+Planted structure: seven latent roles acting as citation topics; the
+graph is strongly assortative (papers cite within their topic) and each
+node carries a noisy topic one-hot standing in for bag-of-words features.
+Positive targets are held-out real edges; negatives are sampled
+non-edges.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import PlantedKG, PlantedKGConfig, generate_planted_kg
+from repro.seal.dataset import LinkTask
+from repro.seal.features import FeatureConfig
+from repro.utils.rng import RngLike
+
+__all__ = ["cora_config", "load_cora_like", "CORA_CLASS_NAMES"]
+
+CORA_CLASS_NAMES = ["no-link", "link"]
+
+
+def cora_config(scale: float = 1.0, num_targets: int = 600) -> PlantedKGConfig:
+    """Generator config; ``scale`` multiplies the node count."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return PlantedKGConfig(
+        num_nodes=max(200, int(1400 * scale)),
+        num_node_types=1,
+        num_roles=7,  # the seven citation topics
+        num_relations=28,  # internal grouping only; no edge attrs exposed
+        avg_degree=8.0,  # lifted vs real Cora: compensates reduced node count
+        assortativity=0.85,  # topic communities drive link existence
+        edge_type_noise=0.1,
+        edge_attr_mode="none",  # single edge type: nothing to attend to
+        node_feature_mode="noisy_role",  # bag-of-words → noisy topic one-hot
+        node_feature_noise=0.2,
+        num_targets=num_targets,
+        target_type_pair=None,
+        num_classes=2,
+        class_rule="existence",
+        label_noise=0.0,
+        name="cora-like",
+    )
+
+
+def load_cora_like(scale: float = 1.0, num_targets: int = 600, rng: RngLike = 0) -> LinkTask:
+    """Build the Cora-like :class:`~repro.seal.dataset.LinkTask`."""
+    cfg = cora_config(scale, num_targets)
+    kg: PlantedKG = generate_planted_kg(cfg, rng)
+    # Cora has a single observable edge type (paper Table II); the
+    # generator's internal role groupings must not leak into the schema.
+    kg.graph.edge_type[:] = 0
+    features = FeatureConfig(
+        num_node_types=0,
+        use_drnl=True,
+        explicit_dim=cfg.num_roles,  # the noisy topic one-hot
+    )
+    return LinkTask(
+        graph=kg.graph,
+        pairs=kg.target_pairs,
+        labels=kg.target_labels,
+        num_classes=2,
+        feature_config=features,
+        class_names=CORA_CLASS_NAMES,
+        name="cora",
+        subgraph_mode="union",
+        num_hops=2,
+        max_subgraph_nodes=100,
+        edge_attr_dim=0,
+    )

@@ -1,0 +1,99 @@
+"""Persistence for graphs and link tasks.
+
+Saves a :class:`~repro.seal.LinkTask` (graph + labeled pairs + feature
+recipe) into a single ``.npz`` archive so expensive generated datasets —
+or externally converted real datasets — can be reloaded without
+regeneration. Embeddings inside the feature config are stored too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.graph.structure import Graph
+from repro.seal.dataset import LinkTask
+from repro.seal.features import FeatureConfig
+
+__all__ = ["save_task", "load_task"]
+
+PathLike = Union[str, Path]
+
+_META_KEY = "__meta_json__"
+
+
+def save_task(path: PathLike, task: LinkTask) -> None:
+    """Write ``task`` to ``path`` (.npz; parent dirs created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    g = task.graph
+    fc = task.feature_config
+    meta = {
+        "num_nodes": g.num_nodes,
+        "num_classes": task.num_classes,
+        "class_names": list(task.class_names),
+        "name": task.name,
+        "subgraph_mode": task.subgraph_mode,
+        "num_hops": task.num_hops,
+        "max_subgraph_nodes": task.max_subgraph_nodes,
+        "edge_attr_dim": task.edge_attr_dim,
+        "fc_num_node_types": fc.num_node_types,
+        "fc_use_drnl": fc.use_drnl,
+        "fc_max_drnl_label": fc.max_drnl_label,
+        "fc_explicit_dim": fc.explicit_dim,
+        "has_node_features": g.node_features is not None,
+        "has_edge_attr": g.edge_attr is not None,
+        "has_embeddings": fc.embeddings is not None,
+    }
+    arrays = {
+        _META_KEY: np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        "edge_index": g.edge_index,
+        "node_type": g.node_type,
+        "edge_type": g.edge_type,
+        "pairs": task.pairs,
+        "labels": task.labels,
+    }
+    if g.node_features is not None:
+        arrays["node_features"] = g.node_features
+    if g.edge_attr is not None:
+        arrays["edge_attr"] = g.edge_attr
+    if fc.embeddings is not None:
+        arrays["embeddings"] = fc.embeddings
+    np.savez_compressed(path, **arrays)
+
+
+def load_task(path: PathLike) -> LinkTask:
+    """Load a task written by :func:`save_task`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data[_META_KEY].tolist()).decode("utf-8"))
+        graph = Graph(
+            int(meta["num_nodes"]),
+            data["edge_index"],
+            node_type=data["node_type"],
+            node_features=data["node_features"] if meta["has_node_features"] else None,
+            edge_type=data["edge_type"],
+            edge_attr=data["edge_attr"] if meta["has_edge_attr"] else None,
+        )
+        fc = FeatureConfig(
+            num_node_types=int(meta["fc_num_node_types"]),
+            use_drnl=bool(meta["fc_use_drnl"]),
+            max_drnl_label=int(meta["fc_max_drnl_label"]),
+            explicit_dim=int(meta["fc_explicit_dim"]),
+            embeddings=data["embeddings"] if meta["has_embeddings"] else None,
+        )
+        return LinkTask(
+            graph=graph,
+            pairs=data["pairs"],
+            labels=data["labels"],
+            num_classes=int(meta["num_classes"]),
+            feature_config=fc,
+            class_names=list(meta["class_names"]),
+            name=str(meta["name"]),
+            subgraph_mode=str(meta["subgraph_mode"]),
+            num_hops=int(meta["num_hops"]),
+            max_subgraph_nodes=meta["max_subgraph_nodes"],
+            edge_attr_dim=int(meta["edge_attr_dim"]),
+        )

@@ -1,0 +1,11 @@
+"""node2vec embeddings: biased walks + skip-gram with negative sampling."""
+
+from repro.embeddings.node2vec import generate_walks
+from repro.embeddings.skipgram import node2vec_embeddings, train_skipgram, walks_to_pairs
+
+__all__ = [
+    "generate_walks",
+    "walks_to_pairs",
+    "train_skipgram",
+    "node2vec_embeddings",
+]

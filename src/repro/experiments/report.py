@@ -1,0 +1,66 @@
+"""ASCII rendering of the paper's tables and figure series.
+
+Figures are reported as numeric series (epoch → AUC etc.) — the same
+rows a plotting script would consume — so results are inspectable in CI
+logs and comparable against the paper's curves without a display.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "PAPER_TABLE3"]
+
+# Paper Table III, for side-by-side printing in EXPERIMENTS.md / benches.
+PAPER_TABLE3: Dict[str, Dict[str, Dict[str, float]]] = {
+    "primekg": {
+        "am_dgcnn": {"auc": 0.99, "ap": 0.97},
+        "vanilla_dgcnn": {"auc": 0.75, "ap": 0.55},
+    },
+    "biokg": {
+        "am_dgcnn": {"auc": 0.80, "ap": 0.75},
+        "vanilla_dgcnn": {"auc": 0.66, "ap": 0.40},
+    },
+    "wordnet": {
+        "am_dgcnn": {"auc": 0.85, "ap": 0.89},
+        "vanilla_dgcnn": {"auc": 0.52, "ap": 0.38},
+    },
+    "cora": {
+        "am_dgcnn": {"auc": 0.91, "ap": 0.92},
+        "vanilla_dgcnn": {"auc": 0.84, "ap": 0.88},
+    },
+}
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with auto-sized columns."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """One figure as a table: x column + one column per named series."""
+    headers = [x_label] + list(series)
+    rows: List[List[object]] = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [vals[i] for vals in series.values()])
+    return f"{title}\n{render_table(headers, rows)}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,90 @@
+"""BFS traversal primitives: bounded shortest distances and k-hop sets.
+
+These are the hot inner loops of SEAL's subgraph extraction (one BFS per
+target node per link), so they run on the cached CSR arrays with
+frontier-at-a-time vectorization: each BFS level is expanded with one
+fancy-indexing gather over ``indptr``/``indices`` instead of per-node
+Python work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.structure import Graph
+
+__all__ = ["bfs_distances", "k_hop_nodes", "pairwise_distance"]
+
+
+def _expand_frontier(indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray) -> np.ndarray:
+    """All out-neighbors of ``frontier`` (with duplicates)."""
+    starts = indptr[frontier]
+    ends = indptr[frontier + 1]
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Vectorized ragged gather: offsets within each run + repeated starts.
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    return indices[np.repeat(starts, counts) + offsets]
+
+
+def bfs_distances(
+    graph: Graph,
+    source: int,
+    max_depth: Optional[int] = None,
+    *,
+    blocked_edge: Optional[tuple] = None,
+) -> np.ndarray:
+    """Unweighted shortest distances from ``source`` to every node.
+
+    Unreachable nodes (or nodes beyond ``max_depth``) get ``-1``.
+
+    Parameters
+    ----------
+    graph: the graph (directed arcs; symmetric graphs behave undirected).
+    source: start node.
+    max_depth: stop expanding beyond this many hops when given.
+    blocked_edge:
+        Optional ``(u, v)`` pair treated as non-existent in *both*
+        directions — used by SEAL's DRNL, which computes distances in the
+        subgraph with the target link removed.
+    """
+    if not 0 <= source < graph.num_nodes:
+        raise ValueError("source out of range")
+    indptr, indices, _ = graph.csr()
+    dist = np.full(graph.num_nodes, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size and (max_depth is None or depth < max_depth):
+        nxt = _expand_frontier(indptr, indices, frontier)
+        if blocked_edge is not None:
+            u, v = blocked_edge
+            # Drop traversals along the blocked pair in either direction.
+            src_rep = np.repeat(frontier, indptr[frontier + 1] - indptr[frontier])
+            keep = ~(((src_rep == u) & (nxt == v)) | ((src_rep == v) & (nxt == u)))
+            nxt = nxt[keep]
+        nxt = nxt[dist[nxt] < 0]
+        if nxt.size == 0:
+            break
+        nxt = np.unique(nxt)
+        depth += 1
+        dist[nxt] = depth
+        frontier = nxt
+    return dist
+
+
+def k_hop_nodes(graph: Graph, source: int, k: int) -> np.ndarray:
+    """Sorted array of nodes within ``k`` hops of ``source`` (inclusive)."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    dist = bfs_distances(graph, source, max_depth=k)
+    return np.nonzero(dist >= 0)[0]
+
+
+def pairwise_distance(graph: Graph, u: int, v: int, max_depth: Optional[int] = None) -> int:
+    """Shortest-path hop count between ``u`` and ``v`` (-1 if unreachable)."""
+    return int(bfs_distances(graph, u, max_depth=max_depth)[v])

@@ -1,0 +1,34 @@
+"""Classical link heuristics and the heuristic-feature baseline classifier."""
+
+from repro.heuristics.classifier import HeuristicFeaturizer, HeuristicLinkClassifier
+from repro.heuristics.global_ import (
+    GLOBAL_HEURISTICS,
+    katz_index,
+    rooted_pagerank,
+    simrank,
+)
+from repro.heuristics.local import (
+    LOCAL_HEURISTICS,
+    graph_without_pairs,
+    adamic_adar,
+    common_neighbors,
+    jaccard_coefficient,
+    preferential_attachment,
+    resource_allocation,
+)
+
+__all__ = [
+    "common_neighbors",
+    "jaccard_coefficient",
+    "adamic_adar",
+    "resource_allocation",
+    "preferential_attachment",
+    "LOCAL_HEURISTICS",
+    "graph_without_pairs",
+    "katz_index",
+    "rooted_pagerank",
+    "simrank",
+    "GLOBAL_HEURISTICS",
+    "HeuristicFeaturizer",
+    "HeuristicLinkClassifier",
+]

@@ -1,0 +1,80 @@
+"""Probability-calibration metrics: Brier score and expected calibration error.
+
+Classification AUC/AP say nothing about whether predicted probabilities
+are *honest*; a drug–disease "indication" probability feeding downstream
+decisions should be calibrated. Extension metrics for the evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["brier_score", "expected_calibration_error", "reliability_bins"]
+
+
+def _validate(y_true: np.ndarray, probs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2 or y_true.shape != (probs.shape[0],):
+        raise ValueError("probs must be (B, C) matching y_true")
+    if y_true.size and (y_true.min() < 0 or y_true.max() >= probs.shape[1]):
+        raise ValueError("labels out of range")
+    return y_true.astype(np.int64), probs
+
+
+def brier_score(y_true: np.ndarray, probs: np.ndarray) -> float:
+    """Multi-class Brier score: mean squared error against the one-hot truth.
+
+    0 is perfect; 2 is the worst possible; a uniform C-class predictor
+    scores ``(C-1)/C``.
+    """
+    y_true, probs = _validate(y_true, probs)
+    if len(y_true) == 0:
+        return 0.0
+    onehot = np.zeros_like(probs)
+    onehot[np.arange(len(y_true)), y_true] = 1.0
+    return float(((probs - onehot) ** 2).sum(axis=1).mean())
+
+
+def reliability_bins(
+    y_true: np.ndarray,
+    probs: np.ndarray,
+    n_bins: int = 10,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Confidence-binned accuracy: ``(bin_confidence, bin_accuracy, bin_count)``.
+
+    Bins the argmax-confidence of each prediction into ``n_bins`` equal
+    intervals of (0, 1]; empty bins report NaN confidence/accuracy and
+    count 0.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    y_true, probs = _validate(y_true, probs)
+    conf = probs.max(axis=1)
+    pred = probs.argmax(axis=1)
+    correct = (pred == y_true).astype(np.float64)
+    # Bin by confidence; right-closed bins so conf=1.0 falls in the last.
+    idx = np.minimum((conf * n_bins).astype(int), n_bins - 1)
+    counts = np.bincount(idx, minlength=n_bins).astype(np.float64)
+    conf_sum = np.bincount(idx, weights=conf, minlength=n_bins)
+    acc_sum = np.bincount(idx, weights=correct, minlength=n_bins)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean_conf = np.where(counts > 0, conf_sum / counts, np.nan)
+        mean_acc = np.where(counts > 0, acc_sum / counts, np.nan)
+    return mean_conf, mean_acc, counts
+
+
+def expected_calibration_error(
+    y_true: np.ndarray,
+    probs: np.ndarray,
+    n_bins: int = 10,
+) -> float:
+    """ECE: count-weighted mean |confidence − accuracy| over bins."""
+    mean_conf, mean_acc, counts = reliability_bins(y_true, probs, n_bins)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    gaps = np.abs(mean_conf - mean_acc)
+    return float(np.nansum(gaps * counts) / total)

@@ -1,0 +1,59 @@
+"""Knowledge-graph ranking metrics: MRR and Hits@k.
+
+OGB-style link tasks (the real OGBL-BioKG) report mean reciprocal rank
+and Hits@k over candidate rankings. For the classification framing used
+here, the "candidates" are the classes: the rank of the true class in
+the predicted probability ordering. Provided as extension metrics for
+the BioKG-like evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["true_class_ranks", "mean_reciprocal_rank", "hits_at_k", "ranking_report"]
+
+
+def true_class_ranks(y_true: np.ndarray, probs: np.ndarray) -> np.ndarray:
+    """1-indexed rank of the true class within each row's score ordering.
+
+    Ties are resolved *pessimistically* (the true class ranks below every
+    strictly-greater score and below equal scores of lower class index —
+    we use the standard "average of optimistic and pessimistic" midrank
+    convention to keep the metric tie-stable).
+    """
+    y_true = np.asarray(y_true)
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2 or y_true.shape != (probs.shape[0],):
+        raise ValueError("probs must be (B, C) matching y_true")
+    true_scores = probs[np.arange(len(y_true)), y_true]
+    greater = (probs > true_scores[:, None]).sum(axis=1)
+    equal = (probs == true_scores[:, None]).sum(axis=1)  # includes itself
+    # Midrank: 1 + #greater + (#equal - 1)/2.
+    return 1.0 + greater + (equal - 1) / 2.0
+
+
+def mean_reciprocal_rank(y_true: np.ndarray, probs: np.ndarray) -> float:
+    """Mean of 1/rank of the true class (1.0 = always ranked first)."""
+    ranks = true_class_ranks(y_true, probs)
+    return float((1.0 / ranks).mean()) if len(ranks) else 0.0
+
+
+def hits_at_k(y_true: np.ndarray, probs: np.ndarray, k: int) -> float:
+    """Fraction of rows whose true class ranks within the top ``k``."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    ranks = true_class_ranks(y_true, probs)
+    return float((ranks <= k).mean()) if len(ranks) else 0.0
+
+
+def ranking_report(
+    y_true: np.ndarray, probs: np.ndarray, ks: Sequence[int] = (1, 3, 5)
+) -> Dict[str, float]:
+    """MRR plus Hits@k for each requested ``k``."""
+    out = {"mrr": mean_reciprocal_rank(y_true, probs)}
+    for k in ks:
+        out[f"hits@{k}"] = hits_at_k(y_true, probs, k)
+    return out

@@ -1,0 +1,69 @@
+"""NumPy autograd + neural-network substrate (torch stand-in).
+
+Public surface::
+
+    from repro.nn import Tensor, Module, Parameter, Linear, Adam
+    from repro.nn import functional as F
+"""
+
+from repro.nn import functional
+from repro.nn import init
+from repro.nn.conv import Conv1d, MaxPool1d
+from repro.nn.dense import MLP, Dropout, Linear
+from repro.nn.gradcheck import gradcheck, numeric_grad
+from repro.nn.indexing import (
+    gather,
+    scatter_add,
+    segment_count,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
+from repro.nn.losses import bce_with_logits, cross_entropy, l2_penalty, nll_loss
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.nn.norm import BatchNorm1d, LayerNorm
+from repro.nn.optim import SGD, Adam, AdamW, Optimizer, StepLR, clip_grad_norm
+from repro.nn.tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack, where
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "init",
+    "Module",
+    "ModuleList",
+    "Sequential",
+    "Parameter",
+    "Linear",
+    "Dropout",
+    "MLP",
+    "Conv1d",
+    "MaxPool1d",
+    "LayerNorm",
+    "BatchNorm1d",
+    "gather",
+    "scatter_add",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "segment_softmax",
+    "segment_count",
+    "cross_entropy",
+    "nll_loss",
+    "bce_with_logits",
+    "l2_penalty",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "StepLR",
+    "clip_grad_norm",
+    "gradcheck",
+    "numeric_grad",
+]

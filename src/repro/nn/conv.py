@@ -1,0 +1,156 @@
+"""1-D convolution and pooling over sort-pooled node sequences.
+
+DGCNN reads out a graph as a fixed-length sequence of sorted node
+embeddings and applies two 1-D convolutions with a max-pool in between
+(Zhang et al., AAAI'18). The first convolution has kernel size and stride
+equal to the per-node feature width, so it acts as a learned per-node
+projection; the second slides over the resulting node axis.
+
+``Conv1d`` is implemented with an im2col gather (stride-aware window
+extraction via ``as_strided``-free fancy indexing) followed by one matmul —
+the standard vectorization for convolutions on CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, as_tensor
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = ["Conv1d", "MaxPool1d"]
+
+
+def _window_indices(length: int, kernel: int, stride: int) -> np.ndarray:
+    """Start-offset index grid of shape ``(out_len, kernel)`` for im2col."""
+    out_len = (length - kernel) // stride + 1
+    if out_len <= 0:
+        raise ValueError(
+            f"kernel {kernel} with stride {stride} does not fit input length {length}"
+        )
+    starts = np.arange(out_len) * stride
+    return starts[:, None] + np.arange(kernel)[None, :]
+
+
+class Conv1d(Module):
+    """1-D convolution over ``(batch, channels, length)`` tensors.
+
+    Parameters
+    ----------
+    in_channels, out_channels: channel widths.
+    kernel_size, stride: window geometry (no padding — DGCNN uses valid
+        convolutions over an exactly sized sort-pooled sequence).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        bias: bool = True,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ValueError("conv dimensions must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        gen = as_generator(rng)
+        # Stored flattened (in_channels*kernel, out) so forward is one matmul.
+        self.weight = Parameter(
+            init.xavier_uniform((in_channels * kernel_size, out_channels), rng=gen)
+        )
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(init.zeros((out_channels,)))
+        else:
+            self.register_parameter("bias", None)
+            self.bias = None
+
+    def out_length(self, length: int) -> int:
+        """Output length for an input of ``length`` (valid convolution)."""
+        return (length - self.kernel_size) // self.stride + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.ndim != 3:
+            raise ValueError("Conv1d expects (batch, channels, length)")
+        b, c, length = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        idx = _window_indices(length, self.kernel_size, self.stride)  # (L_out, K)
+        l_out = idx.shape[0]
+
+        data = x.data  # (B, C, L)
+        # im2col: (B, L_out, C, K) -> (B*L_out, C*K)
+        cols = data[:, :, idx]  # (B, C, L_out, K)
+        cols = cols.transpose(0, 2, 1, 3).reshape(b * l_out, c * self.kernel_size)
+
+        def vjp_cols(g2: np.ndarray) -> np.ndarray:
+            # g2: (B*L_out, C*K) -> scatter back into (B, C, L)
+            g4 = g2.reshape(b, l_out, c, self.kernel_size).transpose(0, 2, 1, 3)
+            gx = np.zeros_like(data)
+            np.add.at(gx, (slice(None), slice(None), idx), g4)
+            return gx
+
+        cols_t = Tensor._from_op(cols, (x,), (vjp_cols,), "im2col")
+        out = cols_t @ self.weight  # (B*L_out, out)
+        if self.bias is not None:
+            out = out + self.bias
+        return out.reshape(b, l_out, self.out_channels).transpose((0, 2, 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv1d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride})"
+        )
+
+
+class MaxPool1d(Module):
+    """Non-overlapping 1-D max pooling over the length axis.
+
+    A trailing remainder shorter than the kernel is dropped (matching
+    PyTorch's default floor behaviour used by the DGCNN reference).
+    """
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+
+    def out_length(self, length: int) -> int:
+        """Output length for an input of ``length``."""
+        return (length - self.kernel_size) // self.stride + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.ndim != 3:
+            raise ValueError("MaxPool1d expects (batch, channels, length)")
+        b, c, length = x.shape
+        idx = _window_indices(length, self.kernel_size, self.stride)  # (L_out, K)
+        data = x.data
+        windows = data[:, :, idx]  # (B, C, L_out, K)
+        arg = windows.argmax(axis=-1)  # (B, C, L_out)
+        out = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
+
+        flat_pos = idx[np.arange(idx.shape[0])[None, None, :], arg]  # (B, C, L_out)
+
+        def vjp(g: np.ndarray) -> np.ndarray:
+            gx = np.zeros_like(data)
+            bi = np.arange(b)[:, None, None]
+            ci = np.arange(c)[None, :, None]
+            np.add.at(gx, (bi, ci, flat_pos), g)
+            return gx
+
+        return Tensor._from_op(out, (x,), (vjp,), "maxpool1d")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MaxPool1d(kernel_size={self.kernel_size}, stride={self.stride})"

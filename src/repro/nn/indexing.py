@@ -1,0 +1,195 @@
+"""Gather / scatter / segment operations for edge-list message passing.
+
+GNN layers in this library operate on a graph expressed as an edge list
+``edge_index`` of shape ``(2, E)``. A message-passing step is:
+
+1. ``gather`` the source-node features onto the edges,
+2. transform/weight the per-edge messages,
+3. ``segment_sum`` (or mean/max) the messages onto the destination nodes.
+
+The backward passes are the duals: the gradient of ``segment_sum`` is a
+``gather``, and the gradient of ``gather`` is a ``scatter_add`` — both
+vectorized with ``np.add.at`` / ``np.take`` per the HPC-Python guides (no
+Python-level loops over edges).
+
+``segment_softmax`` implements the per-destination normalization of GAT
+attention coefficients with a numerically stable per-segment max shift.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = [
+    "gather",
+    "scatter_add",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "segment_softmax",
+    "segment_count",
+]
+
+
+def _check_index(index: np.ndarray) -> np.ndarray:
+    index = np.asarray(index)
+    if index.dtype.kind not in "iu":
+        raise TypeError("index must be an integer array")
+    if index.ndim != 1:
+        raise ValueError("index must be 1-D")
+    return index
+
+
+def gather(x: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows ``x[index]`` (differentiable; dual of scatter_add).
+
+    Parameters
+    ----------
+    x: Tensor of shape ``(N, ...)``.
+    index: integer array of shape ``(M,)`` with values in ``[0, N)``.
+
+    Returns
+    -------
+    Tensor of shape ``(M, ...)``.
+    """
+    x = as_tensor(x)
+    index = _check_index(index)
+    out = x.data[index]
+    shape = x.data.shape
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        full = np.zeros(shape, dtype=np.float64)
+        np.add.at(full, index, g)
+        return full
+
+    return Tensor._from_op(out, (x,), (vjp,), "gather")
+
+
+def scatter_add(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_segments`` output slots by ``index``.
+
+    ``out[s] = sum_{i : index[i]==s} x[i]``. Alias of :func:`segment_sum`
+    but named for the scatter view of the same computation.
+    """
+    return segment_sum(x, index, num_segments)
+
+
+def segment_sum(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Segmented sum: aggregate per-edge values onto nodes.
+
+    Parameters
+    ----------
+    x: Tensor of shape ``(E, ...)`` — one row per edge.
+    index: destination segment of each row, shape ``(E,)``.
+    num_segments: number of output rows ``N``.
+
+    Returns
+    -------
+    Tensor of shape ``(N, ...)``; empty segments are zero.
+    """
+    x = as_tensor(x)
+    index = _check_index(index)
+    if len(index) != x.data.shape[0]:
+        raise ValueError("index length must match the leading dim of x")
+    if index.size and (index.min() < 0 or index.max() >= num_segments):
+        raise ValueError("index out of range for num_segments")
+    out = np.zeros((num_segments,) + x.data.shape[1:], dtype=np.float64)
+    np.add.at(out, index, x.data)
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        return g[index]
+
+    return Tensor._from_op(out, (x,), (vjp,), "segment_sum")
+
+
+def segment_count(index: np.ndarray, num_segments: int) -> np.ndarray:
+    """Number of rows per segment (plain ndarray, non-differentiable)."""
+    index = _check_index(index)
+    return np.bincount(index, minlength=num_segments).astype(np.float64)
+
+
+def segment_mean(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Segmented mean; empty segments yield zero (not NaN)."""
+    sums = segment_sum(x, index, num_segments)
+    counts = np.maximum(segment_count(index, num_segments), 1.0)
+    counts = counts.reshape((num_segments,) + (1,) * (sums.ndim - 1))
+    return sums * Tensor(1.0 / counts)
+
+
+def segment_max(x: Tensor, index: np.ndarray, num_segments: int, fill: float = 0.0) -> Tensor:
+    """Segmented max; empty segments are filled with ``fill``.
+
+    Gradient flows to (one of) the argmax rows of each segment — ties are
+    broken toward the first occurrence, matching ``np.maximum.at`` + argmax
+    reconstruction.
+    """
+    x = as_tensor(x)
+    index = _check_index(index)
+    data = x.data
+    out = np.full((num_segments,) + data.shape[1:], -np.inf, dtype=np.float64)
+    np.maximum.at(out, index, data)
+    empty = ~np.isin(np.arange(num_segments), index)
+    if empty.any():
+        out[empty] = fill
+
+    # Identify, per (segment, feature) cell, the first edge row achieving
+    # the max — gradient routes only there (subgradient choice).
+    is_max = data == out[index]
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        grad = np.zeros_like(data)
+        gathered = g[index]
+        # For duplicate maxima in a segment, split gradient equally: this
+        # is a valid subgradient and keeps the op deterministic.
+        counts = np.zeros_like(out)
+        np.add.at(counts, index, is_max.astype(np.float64))
+        denom = np.where(counts[index] > 0, counts[index], 1.0)
+        grad[is_max] = (gathered / denom)[is_max]
+        return grad
+
+    return Tensor._from_op(out, (x,), (vjp,), "segment_max")
+
+
+def segment_softmax(logits: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax normalized within each segment (GAT attention normalizer).
+
+    ``out[i] = exp(logits[i] - m[s_i]) / sum_{j in segment s_i} exp(...)``
+    where ``m[s]`` is the per-segment max (stability shift).
+
+    Parameters
+    ----------
+    logits: Tensor of shape ``(E,)`` or ``(E, H)`` (multi-head).
+    index: segment (destination node) of each row, shape ``(E,)``.
+    num_segments: number of segments ``N``.
+
+    Returns
+    -------
+    Tensor with the shape of ``logits``; rows within a segment sum to 1
+    along the edge dimension for every head.
+    """
+    logits = as_tensor(logits)
+    index = _check_index(index)
+    data = logits.data
+    # Per-segment max for numerical stability (constant wrt gradient).
+    seg_max = np.full((num_segments,) + data.shape[1:], -np.inf, dtype=np.float64)
+    np.maximum.at(seg_max, index, data)
+    seg_max[~np.isfinite(seg_max)] = 0.0  # empty segments
+    shifted = data - seg_max[index]
+    expd = np.exp(shifted)
+    denom = np.zeros_like(seg_max)
+    np.add.at(denom, index, expd)
+    denom = np.where(denom > 0, denom, 1.0)
+    out = expd / denom[index]
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        # d softmax: out * (g - sum_segment(g * out))
+        weighted = g * out
+        seg_dot = np.zeros_like(seg_max)
+        np.add.at(seg_dot, index, weighted)
+        return out * (g - seg_dot[index])
+
+    return Tensor._from_op(out, (logits,), (vjp,), "segment_softmax")

@@ -1,0 +1,66 @@
+"""Weight-initialization schemes.
+
+Glorot/Xavier is the default everywhere, matching PyTorch Geometric's GCN
+and GAT initializers; Kaiming is provided for ReLU-heavy dense heads.
+Each function *returns* a fresh ndarray rather than mutating, so callers
+can route all randomness through one generator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "zeros",
+    "uniform",
+]
+
+
+def _fans(shape: Sequence[int]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[0] * receptive
+    fan_out = shape[1] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: Sequence[int], gain: float = 1.0, rng: RngLike = None) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return as_generator(rng).uniform(-bound, bound, size=tuple(shape))
+
+
+def xavier_normal(shape: Sequence[int], gain: float = 1.0, rng: RngLike = None) -> np.ndarray:
+    """Glorot normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return as_generator(rng).normal(0.0, std, size=tuple(shape))
+
+
+def kaiming_uniform(shape: Sequence[int], negative_slope: float = 0.0, rng: RngLike = None) -> np.ndarray:
+    """He uniform for (leaky-)ReLU fan-in scaling."""
+    fan_in, _ = _fans(shape)
+    gain = np.sqrt(2.0 / (1.0 + negative_slope**2))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return as_generator(rng).uniform(-bound, bound, size=tuple(shape))
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    """All-zero init (biases)."""
+    return np.zeros(tuple(shape), dtype=np.float64)
+
+
+def uniform(shape: Sequence[int], low: float = -0.05, high: float = 0.05, rng: RngLike = None) -> np.ndarray:
+    """Plain uniform init in ``[low, high)``."""
+    return as_generator(rng).uniform(low, high, size=tuple(shape))

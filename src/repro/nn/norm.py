@@ -1,0 +1,89 @@
+"""Normalization layers: LayerNorm and BatchNorm1d.
+
+Not used by the paper's architectures (DGCNN has none), but provided for
+the extension models and downstream users: deeper GNN stacks on larger
+graphs typically need normalization to train. Both are fully
+autograd-backed and gradcheck-tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = ["LayerNorm", "BatchNorm1d"]
+
+
+class LayerNorm(Module):
+    """Per-row normalization over the last dimension with affine params."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.shape[-1] != self.dim:
+            raise ValueError(f"expected last dim {self.dim}, got {x.shape[-1]}")
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * ((var + self.eps) ** -0.5)
+        return normed * self.gamma + self.beta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LayerNorm({self.dim})"
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over the leading (batch/node) dimension.
+
+    Running statistics are tracked with exponential moving averages and
+    used in eval mode, matching the torch semantics the reproduction's
+    users expect.
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must be in (0, 1]")
+        self.dim = dim
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+        self.running_mean = np.zeros(dim)
+        self.running_var = np.ones(dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.ndim != 2 or x.shape[1] != self.dim:
+            raise ValueError(f"expected (N, {self.dim}) input")
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=0, keepdims=True)
+            # Track running stats outside the tape.
+            m = self.momentum
+            self.running_mean = (1 - m) * self.running_mean + m * mean.data.ravel()
+            n = x.shape[0]
+            unbiased = var.data.ravel() * (n / max(n - 1, 1))
+            self.running_var = (1 - m) * self.running_var + m * unbiased
+            normed = centered * ((var + self.eps) ** -0.5)
+        else:
+            normed = (x - Tensor(self.running_mean)) * Tensor(
+                1.0 / np.sqrt(self.running_var + self.eps)
+            )
+        return normed * self.gamma + self.beta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchNorm1d({self.dim})"

@@ -1,0 +1,153 @@
+"""Optimizers and learning-rate schedules.
+
+Adam is the paper's (implicit) optimizer — the SEAL reference
+implementation trains DGCNN with Adam — and is the default throughout the
+reproduction. SGD with momentum is kept as a baseline, and AdamW gives
+decoupled weight decay for the dense heads.
+
+All updates are in-place on ``Parameter.data`` and fully vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "StepLR", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.momentum > 0:
+                v = self._velocity.get(id(p))
+                v = self.momentum * v + g if v is not None else g.copy()
+                self._velocity[id(p)] = v
+                g = v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        if not (0 <= self.beta1 < 1 and 0 <= self.beta2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bc1 = 1.0 - b1**self._t
+        bc2 = 1.0 - b2**self._t
+        for p in self.params:
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data  # coupled L2 (classic Adam)
+            m = self._m.get(id(p))
+            v = self._v.get(id(p))
+            m = b1 * m + (1 - b1) * g if m is not None else (1 - b1) * g
+            v = b2 * v + (1 - b2) * (g * g) if v is not None else (1 - b2) * (g * g)
+            self._m[id(p)], self._v[id(p)] = m, v
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for p in self.params:
+                if p.grad is not None:
+                    p.data -= self.lr * self.weight_decay * p.data
+        wd, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super().step()
+        finally:
+            self.weight_decay = wd
+
+
+class StepLR:
+    """Multiply the optimizer's lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch; decays lr on multiples of ``step_size``."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+    @property
+    def last_lr(self) -> float:
+        return self.optimizer.lr
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging exploding gradients).
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total

@@ -1,0 +1,53 @@
+"""SEAL framework adapted to link classification (paper §II-B, §III).
+
+Pipeline: enclosing-subgraph extraction → DRNL labeling → node attribute
+matrix → GNN (DGCNN / AM-DGCNN) → class logits.
+"""
+
+from repro.seal.dataset import (
+    LinkTask,
+    SEALDataset,
+    sample_negative_pairs,
+    train_test_split_indices,
+)
+from repro.seal.cross_validation import (
+    CrossValidationResult,
+    cross_validate,
+    kfold_indices,
+)
+from repro.seal.evaluator import EvalResult, evaluate, predict_proba
+from repro.seal.inference import classify_pairs
+from repro.seal.tasks import make_link_classification_task, make_link_prediction_task
+from repro.seal.features import FeatureConfig, build_node_features
+from repro.seal.labeling import (
+    DEFAULT_MAX_LABEL,
+    drnl_labels,
+    drnl_one_hot,
+    drnl_value,
+)
+from repro.seal.trainer import TrainConfig, TrainHistory, train
+
+__all__ = [
+    "LinkTask",
+    "SEALDataset",
+    "train_test_split_indices",
+    "sample_negative_pairs",
+    "FeatureConfig",
+    "build_node_features",
+    "drnl_value",
+    "drnl_labels",
+    "drnl_one_hot",
+    "DEFAULT_MAX_LABEL",
+    "TrainConfig",
+    "TrainHistory",
+    "train",
+    "EvalResult",
+    "evaluate",
+    "predict_proba",
+    "classify_pairs",
+    "kfold_indices",
+    "cross_validate",
+    "CrossValidationResult",
+    "make_link_prediction_task",
+    "make_link_classification_task",
+]

@@ -1,0 +1,28 @@
+"""Random-search baseline for the tuner comparison benchmark."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.tuning.cbo import Trial, TuneResult
+from repro.tuning.space import SearchSpace, Value
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = ["random_search"]
+
+
+def random_search(
+    space: SearchSpace,
+    evaluator: Callable[[Dict[str, Value]], float],
+    n_trials: int,
+    rng: RngLike = 0,
+) -> TuneResult:
+    """Evaluate ``n_trials`` uniform random configurations."""
+    if n_trials < 1:
+        raise ValueError("n_trials must be >= 1")
+    gen = as_generator(rng)
+    result = TuneResult()
+    for i in range(n_trials):
+        config = space.sample(gen)
+        result.trials.append(Trial(config=config, score=float(evaluator(config)), index=i))
+    return result

@@ -1,0 +1,44 @@
+"""Minimal timestamped logging used by trainers and experiment drivers.
+
+A thin wrapper over :mod:`logging` that gives every repro component a
+consistent format without requiring global configuration by the caller.
+Verbosity is controlled per-logger or through ``set_verbosity``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "set_verbosity"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_DATEFMT = "%H:%M:%S"
+_configured = False
+
+
+def _ensure_root_handler() -> None:
+    global _configured
+    if _configured:
+        return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    root.propagate = False
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return the logger ``repro.<name>`` with the shared handler installed."""
+    _ensure_root_handler()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def set_verbosity(level: int | str) -> None:
+    """Set the verbosity of all repro loggers (e.g. ``"INFO"`` or ``logging.DEBUG``)."""
+    _ensure_root_handler()
+    logging.getLogger("repro").setLevel(level)

@@ -1,0 +1,64 @@
+"""Save/load helpers for model parameters and experiment results.
+
+Model parameter blobs are stored as ``.npz`` archives keyed by parameter
+name; experiment results (tables, curves) as JSON with NumPy scalars
+coerced to native Python types so files stay tool-friendly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+__all__ = [
+    "save_arrays",
+    "load_arrays",
+    "save_json",
+    "load_json",
+    "to_jsonable",
+]
+
+PathLike = Union[str, Path]
+
+
+def save_arrays(path: PathLike, arrays: Mapping[str, np.ndarray]) -> None:
+    """Write a name→array mapping to an ``.npz`` archive (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **{k: np.asarray(v) for k, v in arrays.items()})
+
+
+def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read an ``.npz`` archive back into a plain dict of arrays."""
+    with np.load(Path(path)) as data:
+        return {k: data[k] for k in data.files}
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert NumPy containers/scalars into JSON-safe values."""
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()] if obj.ndim else to_jsonable(obj.item())
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, Mapping):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, Path):
+        return str(obj)
+    return obj
+
+
+def save_json(path: PathLike, obj: Any, *, indent: int = 2) -> None:
+    """Serialize ``obj`` (NumPy-friendly) to pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent) + "\n")
+
+
+def load_json(path: PathLike) -> Any:
+    """Load JSON written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())

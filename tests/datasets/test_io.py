@@ -1,0 +1,59 @@
+"""Task persistence round-trips."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_primekg_like, load_wordnet_like
+from repro.datasets.io import load_task, save_task
+from repro.seal import SEALDataset
+
+
+class TestRoundTrip:
+    def test_primekg_roundtrip(self, tmp_path):
+        task = load_primekg_like(scale=0.12, num_targets=30, rng=0)
+        path = tmp_path / "primekg.npz"
+        save_task(path, task)
+        loaded = load_task(path)
+
+        np.testing.assert_array_equal(loaded.graph.edge_index, task.graph.edge_index)
+        np.testing.assert_array_equal(loaded.pairs, task.pairs)
+        np.testing.assert_array_equal(loaded.labels, task.labels)
+        np.testing.assert_allclose(loaded.graph.edge_attr, task.graph.edge_attr)
+        np.testing.assert_allclose(loaded.graph.node_features, task.graph.node_features)
+        assert loaded.class_names == list(task.class_names)
+        assert loaded.subgraph_mode == task.subgraph_mode
+        assert loaded.feature_config.width == task.feature_config.width
+
+    def test_wordnet_without_features(self, tmp_path):
+        task = load_wordnet_like(scale=0.12, num_targets=30, rng=0)
+        path = tmp_path / "wn.npz"
+        save_task(path, task)
+        loaded = load_task(path)
+        assert loaded.graph.node_features is None
+        assert loaded.feature_config.num_node_types == 0
+
+    def test_embeddings_persisted(self, tmp_path):
+        task = load_wordnet_like(scale=0.12, num_targets=30, rng=0)
+        emb = np.random.default_rng(0).normal(size=(task.graph.num_nodes, 4))
+        task = dataclasses.replace(
+            task, feature_config=dataclasses.replace(task.feature_config, embeddings=emb)
+        )
+        path = tmp_path / "emb.npz"
+        save_task(path, task)
+        loaded = load_task(path)
+        np.testing.assert_allclose(loaded.feature_config.embeddings, emb)
+
+    def test_loaded_task_trains_identically(self, tmp_path):
+        """Subgraph extraction from a reloaded task matches the original."""
+        task = load_primekg_like(scale=0.12, num_targets=20, rng=0)
+        path = tmp_path / "t.npz"
+        save_task(path, task)
+        loaded = load_task(path)
+        ds1 = SEALDataset(task, rng=0)
+        ds2 = SEALDataset(loaded, rng=0)
+        g1, f1 = ds1.extract(3)
+        g2, f2 = ds2.extract(3)
+        np.testing.assert_array_equal(g1.edge_index, g2.edge_index)
+        np.testing.assert_allclose(f1, f2)

@@ -1,0 +1,23 @@
+"""Ablation CLI drivers (miniature runs)."""
+
+import pytest
+
+from repro.experiments.ablations import ABLATIONS, ablate_drnl
+
+
+class TestAblationsRegistry:
+    def test_registry_complete(self):
+        assert set(ABLATIONS) == {
+            "subgraph_mode",
+            "node2vec",
+            "drnl",
+            "edge_in_message",
+            "center_pool",
+        }
+
+    def test_drnl_ablation_runs(self):
+        out = ablate_drnl(scale=0.12, num_targets=40)
+        assert set(out) == {"with", "without"}
+        for metrics in out.values():
+            assert 0.0 <= metrics["auc"] <= 1.0
+            assert metrics["mean_subgraph_nodes"] > 0

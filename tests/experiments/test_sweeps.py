@@ -1,0 +1,47 @@
+"""Epoch/sample sweep drivers (miniature runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.epochs import format_epoch_sweep, run_epoch_sweep
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.samples import format_sample_sweep, run_sample_sweep
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=0.12, seed=0)
+
+
+class TestEpochSweep:
+    def test_curve_shape_and_rendering(self, runner):
+        curves = run_epoch_sweep(
+            runner, "cora", settings=("default",), epoch_grid=(1, 2),
+            num_targets=40,
+        )
+        assert set(curves) == {"default"}
+        assert set(curves["default"]) == {"am_dgcnn", "vanilla_dgcnn"}
+        for series in curves["default"].values():
+            assert len(series) == 2
+            assert all(0.0 <= v <= 1.0 for v in series)
+        text = format_epoch_sweep("cora", curves, (1, 2))
+        assert "am_dgcnn" in text and "epochs" in text
+
+    def test_single_grid_point(self, runner):
+        curves = run_epoch_sweep(
+            runner, "cora", settings=("default",), epoch_grid=(2,),
+            num_targets=40,
+        )
+        assert len(curves["default"]["am_dgcnn"]) == 1
+
+
+class TestSampleSweep:
+    def test_fraction_curves(self, runner):
+        curves = run_sample_sweep(
+            runner, "cora", settings=("default",), fractions=(0.5, 1.0),
+            num_targets=40,
+        )
+        for series in curves["default"].values():
+            assert len(series) == 2
+        text = format_sample_sweep("cora", curves, (0.5, 1.0))
+        assert "train_fraction" in text

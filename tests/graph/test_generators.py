@@ -1,0 +1,92 @@
+"""Random-graph primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import (
+    barabasi_albert_edges,
+    dedupe_edges,
+    erdos_renyi_edges,
+    stochastic_block_edges,
+)
+
+
+class TestDedupe:
+    def test_removes_loops_duplicates_and_canonicalizes(self):
+        edges = np.array([[1, 0], [0, 1], [2, 2], [3, 4]])
+        out = dedupe_edges(edges)
+        np.testing.assert_array_equal(out, [[0, 1], [3, 4]])
+
+    def test_empty(self):
+        out = dedupe_edges(np.empty((0, 2), dtype=np.int64))
+        assert out.shape == (0, 2)
+
+    @given(st.integers(2, 30), st.integers(0, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_property_canonical(self, n, m):
+        gen = np.random.default_rng(n * 100 + m)
+        edges = gen.integers(0, n, size=(m, 2))
+        out = dedupe_edges(edges)
+        if out.size:
+            assert (out[:, 0] < out[:, 1]).all()
+            assert len(np.unique(out, axis=0)) == len(out)
+
+
+class TestErdosRenyi:
+    def test_p_zero_empty(self):
+        assert erdos_renyi_edges(10, 0.0, rng=0).shape == (0, 2)
+
+    def test_p_one_complete(self):
+        out = erdos_renyi_edges(6, 1.0, rng=0)
+        assert len(out) == 15
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_edges(5, 1.5)
+
+    def test_density_close_to_p(self):
+        out = erdos_renyi_edges(200, 0.05, rng=0)
+        expected = 0.05 * 200 * 199 / 2
+        assert abs(len(out) - expected) / expected < 0.15
+
+    def test_deterministic(self):
+        a = erdos_renyi_edges(30, 0.2, rng=9)
+        b = erdos_renyi_edges(30, 0.2, rng=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        out = barabasi_albert_edges(50, 3, rng=0)
+        # Seed clique C(4,2)=6 plus 3 per new node.
+        assert len(out) == 6 + 3 * (50 - 4)
+
+    def test_heavy_tail(self):
+        out = barabasi_albert_edges(300, 2, rng=0)
+        deg = np.bincount(out.ravel())
+        assert deg.max() > 4 * np.median(deg)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_edges(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert_edges(5, 5)
+
+
+class TestSBM:
+    def test_within_vs_between_density(self):
+        out = stochastic_block_edges([50, 50], p_in=0.2, p_out=0.01, rng=0)
+        block = out // 50
+        within = (block[:, 0] == block[:, 1]).sum()
+        between = (block[:, 0] != block[:, 1]).sum()
+        assert within > 4 * between
+
+    def test_node_range(self):
+        out = stochastic_block_edges([10, 20, 5], 0.3, 0.05, rng=1)
+        assert out.min() >= 0 and out.max() < 35
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            stochastic_block_edges([10, 0], 0.1, 0.1)

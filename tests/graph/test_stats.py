@@ -1,0 +1,95 @@
+"""Graph statistics vs networkx ground truth."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi_edges
+from repro.graph.stats import (
+    connected_components,
+    degree_assortativity,
+    degree_summary,
+    global_clustering_coefficient,
+    graph_report,
+    largest_component_fraction,
+    num_connected_components,
+)
+from repro.graph.structure import Graph
+
+
+@pytest.fixture
+def two_components():
+    return Graph.from_undirected(6, np.array([[0, 1], [1, 2], [3, 4]]))
+
+
+class TestComponents:
+    def test_labels(self, two_components):
+        labels = connected_components(two_components)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_count(self, two_components):
+        assert num_connected_components(two_components) == 3
+
+    def test_largest_fraction(self, two_components):
+        assert largest_component_fraction(two_components) == pytest.approx(0.5)
+
+    def test_empty_graph(self):
+        g = Graph(0, np.empty((2, 0), dtype=np.int64))
+        assert num_connected_components(g) == 0
+        assert largest_component_fraction(g) == 0.0
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_networkx(self, seed):
+        edges = erdos_renyi_edges(40, 0.05, rng=seed)
+        g = Graph.from_undirected(40, edges)
+        nxg = nx.Graph(edges.tolist())
+        nxg.add_nodes_from(range(40))
+        assert num_connected_components(g) == nx.number_connected_components(nxg)
+
+
+class TestClustering:
+    def test_triangle_is_one(self):
+        g = Graph.from_undirected(3, np.array([[0, 1], [1, 2], [0, 2]]))
+        assert global_clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_star_is_zero(self, star_graph):
+        assert global_clustering_coefficient(star_graph) == 0.0
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_matches_networkx_transitivity(self, seed):
+        edges = erdos_renyi_edges(30, 0.15, rng=seed)
+        g = Graph.from_undirected(30, edges)
+        nxg = nx.Graph(edges.tolist())
+        nxg.add_nodes_from(range(30))
+        assert global_clustering_coefficient(g) == pytest.approx(
+            nx.transitivity(nxg), abs=1e-10
+        )
+
+
+class TestAssortativity:
+    def test_matches_networkx(self):
+        edges = erdos_renyi_edges(40, 0.1, rng=7)
+        g = Graph.from_undirected(40, edges)
+        nxg = nx.Graph(edges.tolist())
+        ours = degree_assortativity(g)
+        theirs = nx.degree_assortativity_coefficient(nxg)
+        assert ours == pytest.approx(theirs, abs=1e-8)
+
+    def test_star_negative(self, star_graph):
+        assert degree_assortativity(star_graph) < 0
+
+
+class TestSummaries:
+    def test_degree_summary(self, star_graph):
+        s = degree_summary(star_graph)
+        assert s["max"] == 5.0
+        assert s["median"] == 1.0
+        assert s["tail_ratio"] == 5.0
+
+    def test_graph_report_keys(self, tiny_graph):
+        rep = graph_report(tiny_graph)
+        assert rep["num_nodes"] == 6
+        assert {"components", "clustering", "assortativity", "degree"} <= set(rep)

@@ -1,0 +1,84 @@
+"""BFS traversal vs networkx ground truth."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi_edges
+from repro.graph.structure import Graph
+from repro.graph.traversal import bfs_distances, k_hop_nodes, pairwise_distance
+
+
+class TestBFSDistances:
+    def test_path_graph(self, path_graph):
+        np.testing.assert_array_equal(bfs_distances(path_graph, 0), [0, 1, 2, 3, 4])
+
+    def test_unreachable_gets_minus_one(self):
+        g = Graph.from_undirected(4, np.array([[0, 1]]))
+        np.testing.assert_array_equal(bfs_distances(g, 0), [0, 1, -1, -1])
+
+    def test_max_depth_truncates(self, path_graph):
+        np.testing.assert_array_equal(
+            bfs_distances(path_graph, 0, max_depth=2), [0, 1, 2, -1, -1]
+        )
+
+    def test_source_out_of_range(self, path_graph):
+        with pytest.raises(ValueError):
+            bfs_distances(path_graph, 9)
+
+    def test_blocked_edge_both_directions(self, path_graph):
+        # Blocking 1-2 cuts the path graph in two.
+        d = bfs_distances(path_graph, 0, blocked_edge=(1, 2))
+        np.testing.assert_array_equal(d, [0, 1, -1, -1, -1])
+        d2 = bfs_distances(path_graph, 4, blocked_edge=(1, 2))
+        np.testing.assert_array_equal(d2, [-1, -1, 2, 1, 0])
+
+    def test_blocked_edge_with_alternative_path(self, tiny_graph):
+        # 0-1 blocked, but 0-2-1 exists.
+        d = bfs_distances(tiny_graph, 0, blocked_edge=(0, 1))
+        assert d[1] == 2
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        edges = erdos_renyi_edges(40, 0.1, rng=seed)
+        g = Graph.from_undirected(40, edges)
+        nxg = nx.Graph(edges.tolist())
+        nxg.add_nodes_from(range(40))
+        for src in [0, 7, 19]:
+            ours = bfs_distances(g, src)
+            theirs = nx.single_source_shortest_path_length(nxg, src)
+            for v in range(40):
+                assert ours[v] == theirs.get(v, -1)
+
+
+class TestKHop:
+    def test_k_zero_is_self(self, path_graph):
+        np.testing.assert_array_equal(k_hop_nodes(path_graph, 2, 0), [2])
+
+    def test_k_two_on_path(self, path_graph):
+        np.testing.assert_array_equal(k_hop_nodes(path_graph, 0, 2), [0, 1, 2])
+
+    def test_negative_k(self, path_graph):
+        with pytest.raises(ValueError):
+            k_hop_nodes(path_graph, 0, -1)
+
+    @given(st.integers(0, 4), st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_in_k(self, source, k):
+        edges = erdos_renyi_edges(20, 0.12, rng=3)
+        g = Graph.from_undirected(20, edges)
+        smaller = set(k_hop_nodes(g, source, k).tolist())
+        larger = set(k_hop_nodes(g, source, k + 1).tolist())
+        assert smaller <= larger
+
+
+class TestPairwise:
+    def test_values(self, path_graph):
+        assert pairwise_distance(path_graph, 0, 3) == 3
+        assert pairwise_distance(path_graph, 2, 2) == 0
+
+    def test_unreachable(self):
+        g = Graph.from_undirected(3, np.array([[0, 1]]))
+        assert pairwise_distance(g, 0, 2) == -1

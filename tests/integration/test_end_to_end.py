@@ -1,0 +1,98 @@
+"""End-to-end integration: the paper's central claims at miniature scale.
+
+These tests train real models on small planted datasets and assert the
+*qualitative* results: AM-DGCNN learns the edge-attribute signal;
+vanilla DGCNN cannot when the signal lives only in edge attributes.
+Scales are tuned so the whole module runs in about a minute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_primekg_like, load_wordnet_like
+from repro.models import AMDGCNN, VanillaDGCNN
+from repro.seal import (
+    SEALDataset,
+    TrainConfig,
+    evaluate,
+    train,
+    train_test_split_indices,
+)
+
+
+@pytest.fixture(scope="module")
+def primekg_setup():
+    task = load_primekg_like(scale=0.2, num_targets=200, rng=0)
+    ds = SEALDataset(task, rng=0)
+    tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
+    ds.prepare()
+    return task, ds, tr, te
+
+
+@pytest.fixture(scope="module")
+def wordnet_setup():
+    task = load_wordnet_like(scale=0.25, num_targets=300, rng=0)
+    ds = SEALDataset(task, rng=0)
+    tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
+    ds.prepare()
+    return task, ds, tr, te
+
+
+def fit(Model, task, ds, tr, te, epochs=8, **kw):
+    model = Model(
+        ds.feature_width,
+        task.num_classes,
+        hidden_dim=32,
+        num_conv_layers=2,
+        sort_k=20,
+        dropout=0.0,
+        rng=1,
+        **kw,
+    )
+    train(model, ds, tr, TrainConfig(epochs=epochs, batch_size=16, lr=3e-3), rng=1)
+    return evaluate(model, ds, te)
+
+
+class TestPrimeKGClaim:
+    """Table III row 1: AM-DGCNN ≫ vanilla on edge-attribute-rich KGs."""
+
+    def test_am_dgcnn_learns_strongly(self, primekg_setup):
+        task, ds, tr, te = primekg_setup
+        res = fit(AMDGCNN, task, ds, tr, te, edge_dim=task.edge_attr_dim, heads=2)
+        assert res.auc > 0.85
+
+    def test_am_beats_vanilla(self, primekg_setup):
+        task, ds, tr, te = primekg_setup
+        am = fit(AMDGCNN, task, ds, tr, te, edge_dim=task.edge_attr_dim, heads=2)
+        va = fit(VanillaDGCNN, task, ds, tr, te)
+        assert am.auc > va.auc
+        assert am.ap > va.ap
+
+
+class TestWordNetClaim:
+    """Table III row 3: without node features, vanilla ≈ random guessing."""
+
+    def test_vanilla_near_random(self, wordnet_setup):
+        task, ds, tr, te = wordnet_setup
+        va = fit(VanillaDGCNN, task, ds, tr, te)
+        assert va.auc < 0.65  # paper: 0.52
+
+    def test_am_well_above_random(self, wordnet_setup):
+        task, ds, tr, te = wordnet_setup
+        am = fit(AMDGCNN, task, ds, tr, te, edge_dim=task.edge_attr_dim, heads=2)
+        assert am.auc > 0.70  # paper: 0.85 at full scale
+
+    def test_gap_is_large(self, wordnet_setup):
+        task, ds, tr, te = wordnet_setup
+        am = fit(AMDGCNN, task, ds, tr, te, edge_dim=task.edge_attr_dim, heads=2)
+        va = fit(VanillaDGCNN, task, ds, tr, te)
+        assert am.auc - va.auc > 0.1
+
+
+class TestReproducibility:
+    def test_identical_runs_identical_metrics(self, primekg_setup):
+        task, ds, tr, te = primekg_setup
+        r1 = fit(AMDGCNN, task, ds, tr, te, epochs=2, edge_dim=task.edge_attr_dim)
+        r2 = fit(AMDGCNN, task, ds, tr, te, epochs=2, edge_dim=task.edge_attr_dim)
+        assert r1.auc == r2.auc
+        np.testing.assert_allclose(r1.probs, r2.probs)

@@ -1,0 +1,86 @@
+"""Brier score, reliability bins, ECE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.calibration import (
+    brier_score,
+    expected_calibration_error,
+    reliability_bins,
+)
+
+
+class TestBrier:
+    def test_perfect_is_zero(self):
+        y = np.array([0, 1, 2])
+        assert brier_score(y, np.eye(3)[y]) == 0.0
+
+    def test_uniform_predictor_value(self):
+        y = np.array([0, 1, 2, 0])
+        probs = np.full((4, 3), 1 / 3)
+        assert brier_score(y, probs) == pytest.approx(2 / 3)
+
+    def test_worst_case(self):
+        y = np.array([0])
+        probs = np.array([[0.0, 1.0]])
+        assert brier_score(y, probs) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert brier_score(np.array([], dtype=int), np.zeros((0, 2))) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            brier_score(np.array([0, 3]), np.ones((2, 2)))
+
+    @given(st.integers(1, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_bounds(self, n):
+        gen = np.random.default_rng(n)
+        y = gen.integers(0, 3, size=n)
+        raw = gen.random((n, 3))
+        probs = raw / raw.sum(axis=1, keepdims=True)
+        assert 0.0 <= brier_score(y, probs) <= 2.0
+
+
+class TestReliabilityAndECE:
+    def test_perfectly_calibrated_ece_zero(self):
+        # Confident and always right: confidence == accuracy == 1.
+        y = np.array([0, 1, 0, 1])
+        probs = np.eye(2)[y]
+        assert expected_calibration_error(y, probs) == pytest.approx(0.0)
+
+    def test_overconfident_wrong_has_high_ece(self):
+        y = np.array([0, 0, 0, 0])
+        probs = np.array([[0.05, 0.95]] * 4)  # confident and always wrong
+        ece = expected_calibration_error(y, probs)
+        assert ece > 0.9
+
+    def test_bins_shapes_and_counts(self):
+        gen = np.random.default_rng(0)
+        y = gen.integers(0, 3, size=50)
+        raw = gen.random((50, 3))
+        probs = raw / raw.sum(axis=1, keepdims=True)
+        conf, acc, counts = reliability_bins(y, probs, n_bins=5)
+        assert conf.shape == acc.shape == counts.shape == (5,)
+        assert counts.sum() == 50
+
+    def test_confidence_one_lands_in_last_bin(self):
+        y = np.array([0])
+        probs = np.array([[1.0, 0.0]])
+        _, _, counts = reliability_bins(y, probs, n_bins=10)
+        assert counts[-1] == 1
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            reliability_bins(np.array([0]), np.ones((1, 2)), n_bins=0)
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_ece_bounds(self, n):
+        gen = np.random.default_rng(n)
+        y = gen.integers(0, 2, size=n)
+        raw = gen.random((n, 2))
+        probs = raw / raw.sum(axis=1, keepdims=True)
+        assert 0.0 <= expected_calibration_error(y, probs) <= 1.0

@@ -1,0 +1,86 @@
+"""MRR and Hits@k ranking metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.kg_ranking import (
+    hits_at_k,
+    mean_reciprocal_rank,
+    ranking_report,
+    true_class_ranks,
+)
+
+
+class TestRanks:
+    def test_rank_one_when_top(self):
+        probs = np.array([[0.7, 0.2, 0.1]])
+        assert true_class_ranks(np.array([0]), probs)[0] == 1.0
+
+    def test_rank_last(self):
+        probs = np.array([[0.7, 0.2, 0.1]])
+        assert true_class_ranks(np.array([2]), probs)[0] == 3.0
+
+    def test_tie_midrank(self):
+        probs = np.array([[0.5, 0.5, 0.0]])
+        # Classes 0 and 1 tied at the top: midrank 1.5 for either.
+        assert true_class_ranks(np.array([0]), probs)[0] == 1.5
+        assert true_class_ranks(np.array([1]), probs)[0] == 1.5
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            true_class_ranks(np.array([0, 1]), np.ones((3, 2)))
+
+
+class TestMRR:
+    def test_perfect(self):
+        y = np.array([0, 1, 2])
+        assert mean_reciprocal_rank(y, np.eye(3)[y]) == 1.0
+
+    def test_always_second(self):
+        probs = np.array([[0.6, 0.4], [0.6, 0.4]])
+        assert mean_reciprocal_rank(np.array([1, 1]), probs) == pytest.approx(0.5)
+
+    @given(st.integers(1, 30), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_bounds(self, n, c):
+        gen = np.random.default_rng(n * c)
+        y = gen.integers(0, c, size=n)
+        probs = gen.random((n, c))
+        mrr = mean_reciprocal_rank(y, probs)
+        assert 1.0 / c <= mrr + 1e-9 and mrr <= 1.0
+
+
+class TestHits:
+    def test_hits_at_one_is_accuracy_without_ties(self):
+        gen = np.random.default_rng(0)
+        y = gen.integers(0, 4, size=50)
+        probs = gen.random((50, 4))
+        acc = (probs.argmax(axis=1) == y).mean()
+        assert hits_at_k(y, probs, 1) == pytest.approx(acc)
+
+    def test_hits_at_c_is_one(self):
+        gen = np.random.default_rng(1)
+        y = gen.integers(0, 3, size=20)
+        probs = gen.random((20, 3))
+        assert hits_at_k(y, probs, 3) == 1.0
+
+    def test_monotone_in_k(self):
+        gen = np.random.default_rng(2)
+        y = gen.integers(0, 5, size=40)
+        probs = gen.random((40, 5))
+        vals = [hits_at_k(y, probs, k) for k in range(1, 6)]
+        assert all(a <= b + 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            hits_at_k(np.array([0]), np.ones((1, 2)), 0)
+
+
+class TestReport:
+    def test_keys(self):
+        gen = np.random.default_rng(3)
+        y = gen.integers(0, 4, size=10)
+        rep = ranking_report(y, gen.random((10, 4)), ks=(1, 3))
+        assert set(rep) == {"mrr", "hits@1", "hits@3"}

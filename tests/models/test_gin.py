@@ -1,0 +1,59 @@
+"""GIN convolution."""
+
+import numpy as np
+import pytest
+
+from repro.models.gin import GINConv
+from repro.nn.gradcheck import gradcheck
+from repro.nn.tensor import Tensor
+
+
+def randn(*shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+@pytest.fixture
+def small_graph():
+    edges = np.array([[0, 1], [1, 2], [2, 3], [0, 3]])
+    return np.concatenate([edges.T, edges.T[::-1]], axis=1)
+
+
+class TestGINConv:
+    def test_shape(self, small_graph):
+        conv = GINConv(3, 5, rng=0)
+        assert conv(Tensor(randn(4, 3)), small_graph).shape == (4, 5)
+
+    def test_sum_aggregation_counts_multiplicity(self):
+        # Two parallel arcs from 0 to 1 double node 0's contribution.
+        single = np.array([[0], [1]])
+        double = np.array([[0, 0], [1, 1]])
+        conv = GINConv(2, 2, rng=0)
+        conv.eps.data[:] = 0.0
+        x = Tensor(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        out1 = conv(x, single).data
+        out2 = conv(x, double).data
+        assert not np.allclose(out1[1], out2[1])  # sums differ
+        np.testing.assert_allclose(out1[0], out2[0])  # node 0 unchanged
+
+    def test_edge_attr_blind(self, small_graph):
+        conv = GINConv(3, 4, rng=0)
+        x = Tensor(randn(4, 3))
+        ea = np.eye(2)[np.arange(8) % 2]
+        np.testing.assert_allclose(
+            conv(x, small_graph, ea).data, conv(x, small_graph, 2 * ea).data
+        )
+
+    def test_gradients(self, small_graph):
+        conv = GINConv(2, 3, rng=0)
+        x = Tensor(randn(4, 2), requires_grad=True)
+        params = [x, conv.eps, conv.lin1.weight, conv.lin1.bias, conv.lin2.weight, conv.lin2.bias]
+        gradcheck(lambda *a: (conv(a[0], small_graph) ** 2).sum(), params)
+
+    def test_fixed_eps(self, small_graph):
+        conv = GINConv(3, 4, train_eps=False, rng=0)
+        assert conv.eps is None
+        assert conv(Tensor(randn(4, 3)), small_graph).shape == (4, 4)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            GINConv(0, 3)

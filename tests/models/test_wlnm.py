@@ -1,0 +1,82 @@
+"""Weisfeiler-Lehman Neural Machine baseline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_cora_like
+from repro.graph.structure import Graph
+from repro.graph.subgraph import extract_enclosing_subgraph
+from repro.metrics import roc_auc
+from repro.models.wlnm import WLNMClassifier, encode_subgraph, wl_order
+
+
+@pytest.fixture
+def sub(tiny_graph):
+    return extract_enclosing_subgraph(tiny_graph, 0, 3, k=2)
+
+
+class TestWlOrder:
+    def test_targets_first(self, sub):
+        order = wl_order(sub)
+        assert order[0] == sub.src
+        assert order[1] == sub.dst
+
+    def test_is_permutation(self, sub):
+        order = wl_order(sub)
+        assert sorted(order.tolist()) == list(range(sub.num_nodes))
+
+    def test_deterministic(self, sub):
+        np.testing.assert_array_equal(wl_order(sub), wl_order(sub))
+
+
+class TestEncodeSubgraph:
+    def test_vector_length(self, sub):
+        vec = encode_subgraph(sub, k=5)
+        assert vec.shape == (5 * 4 // 2 - 1,)
+        assert set(np.unique(vec)) <= {0.0, 1.0}
+
+    def test_target_link_slot_removed(self, tiny_graph):
+        # (0, 1) are adjacent in tiny_graph but the subgraph strips the
+        # link; the encoding must not contain it either way because the
+        # (0,1) slot is deleted.
+        sub01 = extract_enclosing_subgraph(tiny_graph, 0, 1, k=2)
+        vec = encode_subgraph(sub01, k=4)
+        assert vec.shape == (4 * 3 // 2 - 1,)
+
+    def test_padding_when_small(self):
+        g = Graph.from_undirected(3, np.array([[0, 1], [1, 2]]))
+        sub = extract_enclosing_subgraph(g, 0, 2, k=2)
+        vec = encode_subgraph(sub, k=8)
+        assert vec.shape == (8 * 7 // 2 - 1,)
+
+    def test_invalid_k(self, sub):
+        with pytest.raises(ValueError):
+            encode_subgraph(sub, k=1)
+
+
+class TestWLNMClassifier:
+    def test_learns_topological_existence_task(self):
+        """WLNM handles the topology-driven Cora-like task (its home turf)."""
+        task = load_cora_like(scale=0.2, num_targets=160, rng=0)
+        tr = np.arange(120)
+        te = np.arange(120, 160)
+        clf = WLNMClassifier(num_classes=2, k=10, epochs=40, rng=0)
+        clf.fit(task, tr)
+        probs = clf.predict_proba(task, te)
+        assert probs.shape == (40, 2)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        auc = roc_auc(task.labels[te], probs[:, 1])
+        assert auc > 0.6  # clearly above random on topology
+
+    def test_predict_before_fit(self):
+        task = load_cora_like(scale=0.2, num_targets=20, rng=0)
+        clf = WLNMClassifier(num_classes=2)
+        with pytest.raises(RuntimeError):
+            clf.predict(task, np.arange(5))
+
+    def test_invalid_classes(self):
+        with pytest.raises(ValueError):
+            WLNMClassifier(num_classes=1)
+
+    def test_input_dim(self):
+        assert WLNMClassifier(num_classes=2, k=10).input_dim == 44

@@ -1,0 +1,112 @@
+"""Conv1d / MaxPool1d: values vs naive reference, gradients, geometry."""
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import Conv1d, MaxPool1d
+from repro.nn.gradcheck import gradcheck
+from repro.nn.tensor import Tensor
+
+
+def randn(*shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+def naive_conv1d(x, w, b, kernel, stride):
+    """Reference loop implementation; w is (C_in*K, C_out)."""
+    batch, c_in, length = x.shape
+    c_out = w.shape[1]
+    l_out = (length - kernel) // stride + 1
+    out = np.zeros((batch, c_out, l_out))
+    for bi in range(batch):
+        for t in range(l_out):
+            window = x[bi, :, t * stride : t * stride + kernel].reshape(-1)
+            out[bi, :, t] = window @ w + b
+    return out
+
+
+class TestConv1d:
+    def test_matches_naive(self):
+        conv = Conv1d(3, 5, kernel_size=4, stride=2, rng=0)
+        x = randn(2, 3, 10)
+        out = conv(Tensor(x)).data
+        ref = naive_conv1d(x, conv.weight.data, conv.bias.data, 4, 2)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_kernel_equals_stride_projection(self):
+        # DGCNN's first conv: kernel = stride = feature width acts per node.
+        conv = Conv1d(1, 4, kernel_size=3, stride=3, rng=0)
+        x = randn(1, 1, 9)
+        out = conv(Tensor(x)).data
+        assert out.shape == (1, 4, 3)
+        # Each output position depends only on its own window.
+        x2 = x.copy()
+        x2[0, 0, 3:6] += 1.0
+        out2 = conv(Tensor(x2)).data
+        np.testing.assert_allclose(out[:, :, 0], out2[:, :, 0])
+        np.testing.assert_allclose(out[:, :, 2], out2[:, :, 2])
+        assert not np.allclose(out[:, :, 1], out2[:, :, 1])
+
+    def test_gradients(self):
+        conv = Conv1d(2, 3, kernel_size=3, stride=2, rng=0)
+        x = Tensor(randn(2, 2, 9), requires_grad=True)
+        gradcheck(lambda a, w, b: (conv(a) ** 2).sum(), [x, conv.weight, conv.bias])
+
+    def test_no_bias(self):
+        conv = Conv1d(2, 2, kernel_size=2, bias=False, rng=0)
+        assert conv.bias is None
+        out = conv(Tensor(np.zeros((1, 2, 4))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_out_length(self):
+        conv = Conv1d(1, 1, kernel_size=5, stride=1, rng=0)
+        assert conv.out_length(10) == 6
+
+    def test_kernel_too_large_raises(self):
+        conv = Conv1d(1, 1, kernel_size=5, stride=1, rng=0)
+        with pytest.raises(ValueError):
+            conv(Tensor(randn(1, 1, 3)))
+
+    def test_wrong_channels_raises(self):
+        conv = Conv1d(2, 1, kernel_size=2, rng=0)
+        with pytest.raises(ValueError):
+            conv(Tensor(randn(1, 3, 5)))
+
+    def test_requires_3d(self):
+        conv = Conv1d(1, 1, kernel_size=1, rng=0)
+        with pytest.raises(ValueError):
+            conv(Tensor(randn(4, 4)))
+
+
+class TestMaxPool1d:
+    def test_values(self):
+        pool = MaxPool1d(2)
+        x = np.array([[[1.0, 3.0, 2.0, 5.0, 4.0]]])
+        out = pool(Tensor(x)).data
+        np.testing.assert_allclose(out, [[[3.0, 5.0]]])  # remainder dropped
+
+    def test_stride_defaults_to_kernel(self):
+        assert MaxPool1d(3).stride == 3
+
+    def test_overlapping_stride(self):
+        pool = MaxPool1d(2, stride=1)
+        x = np.array([[[1.0, 4.0, 2.0]]])
+        np.testing.assert_allclose(pool(Tensor(x)).data, [[[4.0, 4.0]]])
+
+    def test_gradient_routes_to_argmax(self):
+        pool = MaxPool1d(2)
+        x = Tensor(np.array([[[1.0, 3.0, 5.0, 2.0]]]), requires_grad=True)
+        pool(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [[[0.0, 1.0, 1.0, 0.0]]])
+
+    def test_gradcheck(self):
+        pool = MaxPool1d(2)
+        x = Tensor(randn(2, 3, 8), requires_grad=True)
+        gradcheck(lambda a: (pool(a) ** 2).sum(), [x])
+
+    def test_out_length(self):
+        assert MaxPool1d(2).out_length(9) == 4
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            MaxPool1d(2)(Tensor(randn(3, 3)))

@@ -1,0 +1,79 @@
+"""LayerNorm / BatchNorm1d."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import gradcheck
+from repro.nn.norm import BatchNorm1d, LayerNorm
+from repro.nn.tensor import Tensor
+
+
+def randn(*shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self):
+        ln = LayerNorm(6)
+        out = ln(Tensor(randn(4, 6) * 5 + 3)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_params(self):
+        ln = LayerNorm(3)
+        ln.gamma.data[:] = 2.0
+        ln.beta.data[:] = 1.0
+        out = ln(Tensor(randn(5, 3))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_gradients(self):
+        ln = LayerNorm(4)
+        x = Tensor(randn(3, 4), requires_grad=True)
+        gradcheck(lambda *a: (ln(a[0]) ** 2).sum(), [x, ln.gamma, ln.beta])
+
+    def test_wrong_dim(self):
+        with pytest.raises(ValueError):
+            LayerNorm(3)(Tensor(randn(2, 4)))
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+
+class TestBatchNorm1d:
+    def test_normalizes_columns_in_training(self):
+        bn = BatchNorm1d(3)
+        out = bn(Tensor(randn(64, 3) * 4 + 2)).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_used_in_eval(self):
+        bn = BatchNorm1d(2, momentum=1.0)  # adopt batch stats immediately
+        x = randn(32, 2) * 3 + 5
+        bn(Tensor(x))
+        bn.eval()
+        out = bn(Tensor(x)).data
+        # With adopted stats, eval output matches train normalization
+        # up to the biased/unbiased variance factor.
+        assert abs(out.mean()) < 0.1
+
+    def test_eval_is_deterministic_per_sample(self):
+        bn = BatchNorm1d(2)
+        bn(Tensor(randn(16, 2)))
+        bn.eval()
+        single = bn(Tensor(np.array([[1.0, 2.0]]))).data
+        batch = bn(Tensor(np.array([[1.0, 2.0], [5.0, -1.0]]))).data
+        np.testing.assert_allclose(single[0], batch[0])
+
+    def test_gradients(self):
+        bn = BatchNorm1d(3)
+        x = Tensor(randn(6, 3), requires_grad=True)
+        gradcheck(lambda *a: (bn(a[0]) ** 2).sum(), [x, bn.gamma, bn.beta])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3)(Tensor(randn(4)))
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3, momentum=0.0)

@@ -1,0 +1,123 @@
+"""Optimizers: convergence on quadratic bowls, schedules, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, AdamW, StepLR, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+def quadratic_steps(opt_factory, steps=200):
+    """Minimize ||x - 3||^2 from x=0; returns final parameter."""
+    x = Parameter(np.zeros(4))
+    opt = opt_factory([x])
+    target = 3.0
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = ((x - target) * (x - target)).sum()
+        loss.backward()
+        opt.step()
+    return x.data
+
+
+class TestConvergence:
+    def test_sgd(self):
+        final = quadratic_steps(lambda p: SGD(p, lr=0.1))
+        np.testing.assert_allclose(final, 3.0, atol=1e-3)
+
+    def test_sgd_momentum(self):
+        final = quadratic_steps(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(final, 3.0, atol=1e-2)
+
+    def test_adam(self):
+        final = quadratic_steps(lambda p: Adam(p, lr=0.1))
+        np.testing.assert_allclose(final, 3.0, atol=1e-2)
+
+    def test_adamw_decay_shrinks_weights(self):
+        # With a zero-gradient objective, AdamW decay pulls weights to 0.
+        x = Parameter(np.ones(3))
+        opt = AdamW([x], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            opt.zero_grad()
+            x.grad = np.zeros_like(x.data)
+            opt.step()
+        assert np.abs(x.data).max() < 0.1
+
+    def test_adam_weight_decay_coupled(self):
+        x = Parameter(np.ones(2) * 5)
+        opt = Adam([x], lr=0.05, weight_decay=1.0)
+        for _ in range(300):
+            opt.zero_grad()
+            x.grad = np.zeros_like(x.data)
+            opt.step()
+        assert np.abs(x.data).max() < 0.5
+
+
+class TestMechanics:
+    def test_skips_params_without_grad(self):
+        x = Parameter(np.ones(2))
+        opt = SGD([x], lr=0.1)
+        opt.step()  # no grad set — must not move or crash
+        np.testing.assert_allclose(x.data, 1.0)
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], betas=(1.0, 0.9))
+
+    def test_zero_grad(self):
+        x = Parameter(np.ones(2))
+        x.grad = np.ones(2)
+        SGD([x], lr=0.1).zero_grad()
+        assert x.grad is None
+
+
+class TestStepLR:
+    def test_decays_on_schedule(self):
+        x = Parameter(np.ones(1))
+        opt = Adam([x], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == 0.5
+        sched.step()
+        sched.step()
+        assert opt.lr == 0.25
+        assert sched.last_lr == 0.25
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(Adam([Parameter(np.ones(1))]), step_size=0)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        x = Parameter(np.zeros(4))
+        x.grad = np.full(4, 10.0)
+        pre = clip_grad_norm([x], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_max(self):
+        x = Parameter(np.zeros(2))
+        x.grad = np.array([0.3, 0.4])
+        pre = clip_grad_norm([x], max_norm=1.0)
+        assert pre == pytest.approx(0.5)
+        np.testing.assert_allclose(x.grad, [0.3, 0.4])
+
+    def test_handles_missing_grads(self):
+        x = Parameter(np.zeros(2))
+        assert clip_grad_norm([x], 1.0) == 0.0

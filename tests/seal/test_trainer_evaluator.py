@@ -1,0 +1,108 @@
+"""Trainer and evaluator behaviour on a small learnable task."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.primekg import load_primekg_like
+from repro.models import AMDGCNN
+from repro.seal.dataset import SEALDataset, train_test_split_indices
+from repro.seal.evaluator import evaluate, predict_proba
+from repro.seal.trainer import TrainConfig, train
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    task = load_primekg_like(scale=0.12, num_targets=60, rng=0)
+    ds = SEALDataset(task, rng=0)
+    tr, te = train_test_split_indices(task.num_links, 0.3, labels=task.labels, rng=0)
+    ds.prepare()
+    return task, ds, tr, te
+
+
+def small_model(ds, task, seed=1):
+    return AMDGCNN(
+        ds.feature_width,
+        task.num_classes,
+        edge_dim=task.edge_attr_dim,
+        heads=2,
+        hidden_dim=16,
+        num_conv_layers=2,
+        sort_k=10,
+        dropout=0.0,
+        rng=seed,
+    )
+
+
+class TestTrain:
+    def test_loss_decreases(self, small_setup):
+        task, ds, tr, te = small_setup
+        model = small_model(ds, task)
+        hist = train(model, ds, tr, TrainConfig(epochs=6, batch_size=8, lr=3e-3), rng=0)
+        assert len(hist.losses) == 6
+        assert hist.losses[-1] < hist.losses[0]
+
+    def test_eval_trace_recorded(self, small_setup):
+        task, ds, tr, te = small_setup
+        model = small_model(ds, task)
+        hist = train(
+            model, ds, tr, TrainConfig(epochs=3, batch_size=8, lr=3e-3),
+            eval_indices=te, rng=0,
+        )
+        assert len(hist.eval_auc) == 3
+        assert len(hist.eval_ap) == 3
+        assert hist.final_auc == hist.eval_auc[-1]
+        assert len(hist.epoch_seconds) == 3
+
+    def test_callback_invoked(self, small_setup):
+        task, ds, tr, te = small_setup
+        calls = []
+        model = small_model(ds, task)
+        train(
+            model, ds, tr, TrainConfig(epochs=2, batch_size=8, lr=1e-3),
+            rng=0, epoch_callback=lambda e, h: calls.append(e),
+        )
+        assert calls == [0, 1]
+
+    def test_deterministic_given_seeds(self, small_setup):
+        task, ds, tr, te = small_setup
+        h1 = train(small_model(ds, task, seed=3), ds, tr,
+                   TrainConfig(epochs=2, batch_size=8, lr=1e-3), rng=7)
+        h2 = train(small_model(ds, task, seed=3), ds, tr,
+                   TrainConfig(epochs=2, batch_size=8, lr=1e-3), rng=7)
+        np.testing.assert_allclose(h1.losses, h2.losses)
+
+    def test_invalid_epochs(self, small_setup):
+        task, ds, tr, te = small_setup
+        with pytest.raises(ValueError):
+            train(small_model(ds, task), ds, tr, TrainConfig(epochs=0), rng=0)
+
+
+class TestEvaluate:
+    def test_probs_shape_and_normalization(self, small_setup):
+        task, ds, tr, te = small_setup
+        model = small_model(ds, task)
+        probs = predict_proba(model, ds, te, batch_size=8)
+        assert probs.shape == (len(te), task.num_classes)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_eval_restores_training_mode(self, small_setup):
+        task, ds, tr, te = small_setup
+        model = small_model(ds, task)
+        model.train()
+        evaluate(model, ds, te)
+        assert model.training
+        model.eval()
+        evaluate(model, ds, te)
+        assert not model.training
+
+    def test_result_fields(self, small_setup):
+        task, ds, tr, te = small_setup
+        model = small_model(ds, task)
+        res = evaluate(model, ds, te)
+        assert 0.0 <= res.auc <= 1.0
+        assert 0.0 <= res.ap <= 1.0
+        assert 0.0 <= res.accuracy <= 1.0
+        assert res.confusion.shape == (task.num_classes, task.num_classes)
+        assert res.confusion.sum() == len(te)
+        summary = res.summary()
+        assert set(summary) == {"auc", "ap", "accuracy", "auc_random_class"}

@@ -1,0 +1,113 @@
+"""Utility plumbing: RNG, serialization, timing, logging."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.rng import as_generator, derive, spawn
+from repro.utils.serialization import (
+    load_arrays,
+    load_json,
+    save_arrays,
+    save_json,
+    to_jsonable,
+)
+from repro.utils.timing import Stopwatch, Timer
+
+
+class TestRng:
+    def test_as_generator_from_int_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_as_generator_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+    def test_spawn_children_independent(self):
+        children = spawn(0, 3)
+        streams = [c.random(4).tolist() for c in children]
+        assert streams[0] != streams[1] != streams[2]
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+    def test_derive_stable_across_calls(self):
+        a = derive(7, "train").random(4)
+        b = derive(7, "train").random(4)
+        np.testing.assert_allclose(a, b)
+
+    def test_derive_differs_by_tag(self):
+        a = derive(7, "train").random(4)
+        b = derive(7, "test").random(4)
+        assert not np.allclose(a, b)
+
+    def test_derive_differs_by_seed(self):
+        a = derive(7, "x").random(4)
+        b = derive(8, "x").random(4)
+        assert not np.allclose(a, b)
+
+
+class TestSerialization:
+    def test_arrays_roundtrip(self, tmp_path):
+        data = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        path = tmp_path / "sub" / "model.npz"
+        save_arrays(path, data)
+        loaded = load_arrays(path)
+        assert set(loaded) == {"w", "b"}
+        np.testing.assert_allclose(loaded["w"], data["w"])
+
+    def test_json_roundtrip_with_numpy(self, tmp_path):
+        obj = {"auc": np.float64(0.91), "counts": np.array([1, 2]), "name": "x"}
+        path = tmp_path / "res.json"
+        save_json(path, obj)
+        loaded = load_json(path)
+        assert loaded == {"auc": 0.91, "counts": [1, 2], "name": "x"}
+
+    def test_to_jsonable_nested(self):
+        out = to_jsonable({"a": [np.int64(3), {"b": np.bool_(True)}]})
+        assert out == {"a": [3, {"b": True}]}
+
+    def test_to_jsonable_scalar_array(self):
+        assert to_jsonable(np.array(2.5)) == 2.5
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed >= 0.0
+
+    def test_stopwatch_segments(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw.segment("work"):
+                pass
+        assert sw.counts["work"] == 3
+        assert sw.totals["work"] >= 0.0
+        assert sw.mean("work") == sw.totals["work"] / 3
+        assert "work" in sw.report()
+        sw.reset()
+        assert sw.mean("work") == 0.0
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        logger = get_logger("unit")
+        assert logger.name == "repro.unit"
+
+    def test_set_verbosity(self):
+        set_verbosity("DEBUG")
+        assert logging.getLogger("repro").level == logging.DEBUG
+        set_verbosity(logging.WARNING)
