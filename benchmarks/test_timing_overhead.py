@@ -7,8 +7,11 @@ times per-epoch training of both models on identical data and asserts
 the attention+edge machinery costs at most a small constant factor.
 """
 
+import time
+
 import numpy as np
 
+import repro.obs as obs
 from repro.datasets import load_primekg_like
 from repro.models import AMDGCNN, VanillaDGCNN
 from repro.seal import SEALDataset, TrainConfig, train, train_test_split_indices
@@ -45,3 +48,59 @@ def test_training_latency_overhead(benchmark):
     # Attention + edge projections cost a small constant factor, not an
     # asymptotic blowup (paper: "without a significant cost").
     assert ratio < 4.0
+
+
+def test_obs_instrumentation_overhead(benchmark):
+    """repro.obs must be ~free when disabled and < 5% when enabled.
+
+    The trainer/dataset/collate trace points sit in per-batch loops, so
+    this is the guard that keeps observability always-on-able: one
+    training run is timed with instrumentation off and on, interleaved
+    to cancel thermal/cache drift, taking the best of three rounds each.
+    """
+    task = load_primekg_like(scale=0.2, num_targets=150, rng=0)
+    ds = SEALDataset(task, rng=0)
+    tr, _ = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
+    ds.prepare()
+
+    def one_run():
+        model = AMDGCNN(
+            ds.feature_width, task.num_classes, edge_dim=task.edge_attr_dim,
+            heads=2, hidden_dim=32, num_conv_layers=2, sort_k=25, dropout=0.0, rng=1,
+        )
+        t0 = time.perf_counter()
+        train(model, ds, tr, TrainConfig(epochs=3, batch_size=16, lr=3e-3),
+              rng=1, verbose=False)
+        return time.perf_counter() - t0
+
+    def measure_both():
+        disabled, enabled = [], []
+        one_run()  # warmup
+        for _ in range(3):
+            assert not obs.enabled()
+            disabled.append(one_run())
+            with obs.capture():
+                enabled.append(one_run())
+        return min(disabled), min(enabled)
+
+    off_s, on_s = benchmark.pedantic(measure_both, rounds=1, iterations=1)
+    overhead = on_s / off_s - 1.0
+
+    print("\nrepro.obs instrumentation overhead (3-epoch training run)")
+    print(f"  disabled: {off_s:.3f}s")
+    print(f"  enabled:  {on_s:.3f}s  ({100 * overhead:+.2f}%)")
+
+    assert overhead < 0.05  # acceptance bar: < 5% slowdown when enabled
+
+
+def test_obs_disabled_trace_is_nanoseconds():
+    """A disabled trace() must cost no more than a flag check — the hot
+    loops keep their instrumentation unconditionally."""
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with obs.trace("x"):
+            pass
+    per_call = (time.perf_counter() - t0) / n
+    print(f"\ndisabled trace(): {1e9 * per_call:.0f} ns/call")
+    assert per_call < 5e-6  # generous: even slow CI is far under 5 µs

@@ -6,6 +6,7 @@ Commands
 ``epochs``   — regenerate a Figs 3–6 panel (``--dataset`` required)
 ``samples``  — regenerate a Figs 7–9 panel (``--dataset`` required)
 ``datasets`` — print Table II schema/stat summary
+``profile``  — run an instrumented end-to-end workload, emit phase times
 ``version``  — print the package version
 """
 
@@ -43,6 +44,10 @@ def main(argv=None) -> int:
 
         run()
         return 0
+    if command == "profile":
+        from repro.obs.profile import main as run_profile_cli
+
+        return run_profile_cli(rest)
     if command == "datasets":
         from repro.datasets import PAPER_SCHEMAS, dataset_names, load_dataset
         from repro.experiments.report import render_table

@@ -21,7 +21,7 @@ from repro.experiments.config import (
 )
 from repro.seal.dataset import SEALDataset, train_test_split_indices
 from repro.seal.evaluator import EvalResult, evaluate
-from repro.seal.trainer import TrainHistory, train
+from repro.seal.trainer import TrainResult, train
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive
 
@@ -36,7 +36,7 @@ class RunResult:
 
     dataset: str
     model: str
-    history: TrainHistory
+    history: TrainResult
     final: EvalResult
     train_size: int
     test_size: int

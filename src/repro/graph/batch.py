@@ -15,6 +15,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.graph.structure import Graph
 
 __all__ = ["GraphBatch", "collate"]
@@ -79,7 +80,15 @@ def collate(
         raise ValueError("cannot collate an empty list of graphs")
     if len(graphs) != len(node_feature_matrices):
         raise ValueError("need exactly one feature matrix per graph")
+    with obs.trace("collate"):
+        return _collate(graphs, node_feature_matrices, edge_attr_dim)
 
+
+def _collate(
+    graphs: Sequence[Graph],
+    node_feature_matrices: Sequence[np.ndarray],
+    edge_attr_dim: int,
+) -> GraphBatch:
     feat_dims = {m.shape[1] for m in node_feature_matrices}
     if len(feat_dims) != 1:
         raise ValueError(f"inconsistent node feature widths: {sorted(feat_dims)}")
@@ -112,10 +121,14 @@ def collate(
         if edge_attr_dim
         else np.zeros((edge_index.shape[1], 0))
     )
-    return GraphBatch(
+    out = GraphBatch(
         edge_index=edge_index,
         node_features=np.concatenate(node_feature_matrices, axis=0),
         edge_attr=edge_attr,
         batch=np.concatenate(batch_parts),
         num_graphs=len(graphs),
     )
+    obs.count("graph.collate.batches")
+    obs.count("graph.collate.graphs", float(out.num_graphs))
+    obs.count("graph.collate.nodes", float(out.num_nodes))
+    return out

@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.utils.rng import RngLike, as_generator
+from repro.utils.rng import RngLike, ensure_rng
 
 __all__ = [
     "erdos_renyi_edges",
@@ -49,7 +49,7 @@ def erdos_renyi_edges(n: int, p: float, rng: RngLike = None) -> np.ndarray:
     """
     if not 0 <= p <= 1:
         raise ValueError("p must be in [0, 1]")
-    gen = as_generator(rng)
+    gen = ensure_rng(rng)
     total_pairs = n * (n - 1) // 2
     m = gen.binomial(total_pairs, p)
     if m == 0:
@@ -73,7 +73,7 @@ def barabasi_albert_edges(n: int, m: int, rng: RngLike = None) -> np.ndarray:
     """
     if m < 1 or m >= n:
         raise ValueError("need 1 <= m < n")
-    gen = as_generator(rng)
+    gen = ensure_rng(rng)
     # Seed: a small clique on m+1 nodes so every early node has degree >= m.
     seed_nodes = np.arange(m + 1)
     edges = [(int(a), int(b)) for i, a in enumerate(seed_nodes) for b in seed_nodes[i + 1 :]]
@@ -105,7 +105,7 @@ def stochastic_block_edges(
     sizes = np.asarray(block_sizes, dtype=np.int64)
     if (sizes <= 0).any():
         raise ValueError("block sizes must be positive")
-    gen = as_generator(rng)
+    gen = ensure_rng(rng)
     starts = np.concatenate([[0], np.cumsum(sizes)])
     parts = []
     nblocks = len(sizes)

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.graph.structure import Graph
 from repro.graph.traversal import bfs_distances
-from repro.utils.rng import RngLike, as_generator
+from repro.utils.rng import RngLike, ensure_rng
 
 __all__ = ["EnclosingSubgraph", "extract_enclosing_subgraph"]
 
@@ -125,7 +125,7 @@ def extract_enclosing_subgraph(
             cutoff = cls_sorted[budget - 1]
             firm = rest[cls_sorted < cutoff]
             tied = rest[cls_sorted == cutoff]
-            gen = as_generator(rng)
+            gen = ensure_rng(rng)
             picked = gen.choice(tied, size=budget - len(firm), replace=False)
             rest = np.concatenate([firm, np.sort(picked)])
         else:

@@ -1,0 +1,65 @@
+"""repro.obs — metrics, tracing and profiling for the SEAL pipeline.
+
+The measurement substrate the ROADMAP's perf work reports against. Usage:
+
+>>> import repro.obs as obs
+>>> with obs.capture() as reg:          # enable + fresh registry
+...     with obs.trace("forward"):
+...         pass
+>>> reg.phase_counts["forward"]
+1
+
+Instrumentation points throughout :mod:`repro.seal`, :mod:`repro.graph`
+and :mod:`repro.tuning` call :func:`trace`/:func:`count`/:func:`observe`;
+all three are no-ops until :func:`enable` (or :class:`capture`) turns the
+subsystem on, so the default-path overhead is a single flag check.
+
+``python -m repro profile`` (see :mod:`repro.obs.profile`) runs a small
+end-to-end workload under :class:`capture` and prints the phase-time
+breakdown; :mod:`repro.obs.export` serializes any registry to JSON/CSV.
+"""
+
+from repro.obs.callbacks import (
+    ConsoleLogger,
+    MetricsCallback,
+    TrainingCallback,
+    TrainingLogger,
+)
+from repro.obs.export import load_csv, load_json, to_csv, to_json, write_csv, write_json
+from repro.obs.registry import (
+    HistogramSummary,
+    MetricsRegistry,
+    capture,
+    count,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    observe,
+    set_registry,
+    trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "HistogramSummary",
+    "get_registry",
+    "set_registry",
+    "enable",
+    "disable",
+    "enabled",
+    "trace",
+    "count",
+    "observe",
+    "capture",
+    "to_json",
+    "write_json",
+    "load_json",
+    "to_csv",
+    "write_csv",
+    "load_csv",
+    "TrainingLogger",
+    "TrainingCallback",
+    "ConsoleLogger",
+    "MetricsCallback",
+]

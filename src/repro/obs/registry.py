@@ -1,0 +1,321 @@
+"""Process-global metrics registry and phase tracing.
+
+The observability substrate every perf PR reports against. Three design
+constraints drive the shape of this module:
+
+1. **Negligible overhead when disabled.** Instrumentation points live in
+   hot loops (per-batch forward/backward, per-link extraction), so
+   :func:`trace` must cost no more than a global flag check plus a shared
+   no-op context manager when observability is off — which is the
+   default.
+2. **Nesting-aware phase timers.** Phases entered while another phase is
+   open record under a ``parent/child`` key, so exporters can show both
+   the full call tree and a per-leaf breakdown
+   (:meth:`MetricsRegistry.leaf_totals`).
+3. **No external dependencies.** Counters, gauges and histograms follow
+   the Prometheus vocabulary but are plain Python structures a JSON/CSV
+   exporter can serialize directly (:mod:`repro.obs.export`).
+
+The registry is deliberately not thread-safe: the pipeline is
+single-threaded, and taking a lock per batch would violate constraint 1.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "MetricsRegistry",
+    "HistogramSummary",
+    "get_registry",
+    "set_registry",
+    "enable",
+    "disable",
+    "enabled",
+    "trace",
+    "count",
+    "observe",
+    "capture",
+]
+
+_HISTOGRAM_RESERVOIR = 512  # observations kept verbatim for percentiles
+
+
+class HistogramSummary:
+    """Streaming summary of one histogram: moments plus a bounded reservoir."""
+
+    __slots__ = ("count", "total", "min", "max", "reservoir")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.reservoir: List[float] = []
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.reservoir) < _HISTOGRAM_RESERVOIR:
+            self.reservoir.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from the reservoir (exact for short runs)."""
+        if not self.reservoir:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        ordered = sorted(self.reservoir)
+        pos = (len(ordered) - 1) * q / 100.0
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+        }
+
+
+class _PhaseTimer:
+    """Context manager recording one nested phase interval.
+
+    Plain class (not ``@contextmanager``) because generator-based context
+    managers cost several times more per entry — this sits on the batch
+    hot path.
+    """
+
+    __slots__ = ("_registry", "_name", "_key", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_PhaseTimer":
+        reg = self._registry
+        reg._stack.append(self._name)
+        self._key = "/".join(reg._stack)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        elapsed = time.perf_counter() - self._start
+        reg = self._registry
+        reg.phase_totals[self._key] += elapsed
+        reg.phase_counts[self._key] += 1
+        reg._stack.pop()
+
+
+class _NullTimer:
+    """Shared no-op context manager returned by :func:`trace` when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms and nested phase timers.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.count("cache.hits")
+    >>> with reg.phase("epoch"):
+    ...     with reg.phase("forward"):
+    ...         pass
+    >>> sorted(reg.phase_totals)
+    ['epoch', 'epoch/forward']
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = defaultdict(float)
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramSummary] = {}
+        self.phase_totals: Dict[str, float] = defaultdict(float)
+        self.phase_counts: Dict[str, int] = defaultdict(int)
+        self._stack: List[str] = []
+
+    # -- write side ----------------------------------------------------
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self.counters[name] += value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = HistogramSummary()
+        hist.add(value)
+
+    def phase(self, name: str) -> _PhaseTimer:
+        """Timer context manager; nests under any currently open phase."""
+        return _PhaseTimer(self, name)
+
+    def reset(self) -> None:
+        """Drop every recorded metric (open phases keep their stack)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.phase_totals.clear()
+        self.phase_counts.clear()
+
+    # -- read side -----------------------------------------------------
+    def leaf_totals(self) -> Dict[str, float]:
+        """Seconds per phase aggregated by leaf name across nesting.
+
+        ``train/forward`` and ``eval/forward`` both contribute to
+        ``forward`` — the per-operation breakdown the profile CLI emits.
+        """
+        out: Dict[str, float] = defaultdict(float)
+        for key, total in self.phase_totals.items():
+            out[key.rsplit("/", 1)[-1]] += total
+        return dict(out)
+
+    def leaf_counts(self) -> Dict[str, int]:
+        """Entry counts per phase aggregated by leaf name."""
+        out: Dict[str, int] = defaultdict(int)
+        for key, n in self.phase_counts.items():
+            out[key.rsplit("/", 1)[-1]] += n
+        return dict(out)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view of everything recorded (JSON-serializable)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.summary() for k, h in self.histograms.items()},
+            "phases": {
+                k: {"seconds": self.phase_totals[k], "calls": self.phase_counts[k]}
+                for k in self.phase_totals
+            },
+        }
+
+    def report(self) -> str:
+        """Human-readable phase table sorted by total time."""
+        lines = ["phase                            total(s)   calls   mean(ms)"]
+        for key in sorted(self.phase_totals, key=self.phase_totals.get, reverse=True):
+            total = self.phase_totals[key]
+            calls = self.phase_counts[key]
+            mean_ms = 1e3 * total / calls if calls else 0.0
+            lines.append(f"{key:<32} {total:>8.3f} {calls:>7d} {mean_ms:>10.3f}")
+        return "\n".join(lines)
+
+
+# -- process-global plumbing -------------------------------------------
+
+_REGISTRY = MetricsRegistry()
+_ENABLED = False
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry instrumentation points write into."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry (returns the previous one)."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+def enable() -> None:
+    """Turn instrumentation on (writes go to the global registry)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn instrumentation off (:func:`trace` becomes a shared no-op)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently on."""
+    return _ENABLED
+
+
+def trace(phase: str):
+    """Phase-timer context manager — the one call sites should use.
+
+    When observability is disabled (the default) this returns a shared
+    no-op whose entry/exit are empty methods, so leaving ``trace`` calls
+    in hot loops costs a flag check and nothing else.
+    """
+    if not _ENABLED:
+        return _NULL_TIMER
+    return _REGISTRY.phase(phase)
+
+
+def count(name: str, value: float = 1.0) -> None:
+    """Increment a global counter (no-op while disabled)."""
+    if _ENABLED:
+        _REGISTRY.count(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a global histogram observation (no-op while disabled)."""
+    if _ENABLED:
+        _REGISTRY.observe(name, value)
+
+
+class capture:
+    """Enable observability for a block and yield a fresh registry.
+
+    >>> import repro.obs as obs
+    >>> with obs.capture() as reg:
+    ...     with obs.trace("work"):
+    ...         pass
+    >>> "work" in reg.phase_totals
+    True
+
+    On exit the previous registry and enabled-state are restored, so
+    captures compose with surrounding instrumentation (e.g. the profile
+    CLI capturing inside a user's own session).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._prev_registry: Optional[MetricsRegistry] = None
+        self._prev_enabled = False
+
+    def __enter__(self) -> MetricsRegistry:
+        self._prev_registry = set_registry(self.registry)
+        self._prev_enabled = enabled()
+        enable()
+        return self.registry
+
+    def __exit__(self, *exc: Any) -> None:
+        set_registry(self._prev_registry)
+        if not self._prev_enabled:
+            disable()

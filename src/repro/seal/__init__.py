@@ -5,6 +5,7 @@ matrix → GNN (DGCNN / AM-DGCNN) → class logits.
 """
 
 from repro.seal.dataset import (
+    CacheInfo,
     LinkTask,
     SEALDataset,
     sample_negative_pairs,
@@ -12,10 +13,12 @@ from repro.seal.dataset import (
 )
 from repro.seal.cross_validation import (
     CrossValidationResult,
+    CVResult,
     cross_validate,
     kfold_indices,
 )
 from repro.seal.evaluator import EvalResult, evaluate, predict_proba
+from repro.seal.results import TrainResult
 from repro.seal.inference import classify_pairs
 from repro.seal.tasks import make_link_classification_task, make_link_prediction_task
 from repro.seal.features import FeatureConfig, build_node_features
@@ -30,6 +33,7 @@ from repro.seal.trainer import TrainConfig, TrainHistory, train
 __all__ = [
     "LinkTask",
     "SEALDataset",
+    "CacheInfo",
     "train_test_split_indices",
     "sample_negative_pairs",
     "FeatureConfig",
@@ -40,6 +44,7 @@ __all__ = [
     "DEFAULT_MAX_LABEL",
     "TrainConfig",
     "TrainHistory",
+    "TrainResult",
     "train",
     "EvalResult",
     "evaluate",
@@ -47,6 +52,7 @@ __all__ = [
     "classify_pairs",
     "kfold_indices",
     "cross_validate",
+    "CVResult",
     "CrossValidationResult",
     "make_link_prediction_task",
     "make_link_classification_task",

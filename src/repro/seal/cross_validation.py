@@ -3,25 +3,28 @@
 The paper reports single-split results; cross-validation is the natural
 robustness extension for the small-sample regimes (BioKG) where one
 split's AUC is noisy. Each fold trains a fresh model from the same
-factory and evaluates on the held-out fold; the summary reports the
-per-fold metrics with mean and standard deviation.
+factory and evaluates on the held-out fold; the frozen
+:class:`~repro.seal.results.CVResult` reports the per-fold metrics with
+mean and standard deviation plus per-fold wall-times.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+import time
+from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.nn.module import Module
 from repro.seal.dataset import SEALDataset
 from repro.seal.evaluator import EvalResult, evaluate
+from repro.seal.results import CrossValidationResult, CVResult
 from repro.seal.trainer import TrainConfig, train
 from repro.utils.logging import get_logger
-from repro.utils.rng import RngLike, as_generator, derive
+from repro.utils.rng import RngLike, derive, ensure_rng
 
-__all__ = ["kfold_indices", "CrossValidationResult", "cross_validate"]
+__all__ = ["kfold_indices", "CVResult", "CrossValidationResult", "cross_validate"]
 
 logger = get_logger("seal.cv")
 
@@ -42,7 +45,7 @@ def kfold_indices(
         raise ValueError("k must be >= 2")
     if n < k:
         raise ValueError("need at least k examples")
-    gen = as_generator(rng)
+    gen = ensure_rng(rng)
     folds: List[List[int]] = [[] for _ in range(k)]
     if labels is None:
         perm = gen.permutation(n)
@@ -61,27 +64,6 @@ def kfold_indices(
     return [np.sort(np.array(f, dtype=np.int64)) for f in folds]
 
 
-@dataclass
-class CrossValidationResult:
-    """Per-fold evaluations plus aggregate statistics."""
-
-    fold_results: List[EvalResult] = field(default_factory=list)
-
-    def metric(self, name: str) -> np.ndarray:
-        """Per-fold values of ``auc`` | ``ap`` | ``accuracy``."""
-        return np.array([getattr(r, name) for r in self.fold_results])
-
-    def summary(self) -> Dict[str, float]:
-        """Mean ± std of each scalar metric over folds."""
-        out: Dict[str, float] = {}
-        for name in ("auc", "ap", "accuracy"):
-            vals = self.metric(name)
-            out[f"{name}_mean"] = float(vals.mean())
-            out[f"{name}_std"] = float(vals.std())
-        out["folds"] = len(self.fold_results)
-        return out
-
-
 def cross_validate(
     model_factory: Callable[[int], Module],
     dataset: SEALDataset,
@@ -89,7 +71,7 @@ def cross_validate(
     *,
     k: int = 5,
     rng: RngLike = 0,
-) -> CrossValidationResult:
+) -> CVResult:
     """K-fold CV: train ``model_factory(fold)`` on k-1 folds, test on one.
 
     ``model_factory`` receives the fold number so each fold can use a
@@ -99,12 +81,27 @@ def cross_validate(
     folds = kfold_indices(
         task.num_links, k, labels=task.labels, rng=derive(rng, "cv-folds")
     )
-    result = CrossValidationResult()
+    fold_results: List[EvalResult] = []
+    fold_seconds: List[float] = []
+    t_start = time.perf_counter()
     for fold, test_idx in enumerate(folds):
         train_idx = np.concatenate([f for j, f in enumerate(folds) if j != fold])
         model = model_factory(fold)
-        train(model, dataset, train_idx, config, rng=derive(rng, "cv-train", str(fold)))
-        fold_eval = evaluate(model, dataset, test_idx)
-        logger.info("fold %d auc=%.4f ap=%.4f", fold, fold_eval.auc, fold_eval.ap)
-        result.fold_results.append(fold_eval)
-    return result
+        t_fold = time.perf_counter()
+        with obs.trace("cv-fold"):
+            train(model, dataset, train_idx, config, rng=derive(rng, "cv-train", str(fold)))
+            fold_eval = evaluate(model, dataset, test_idx)
+        elapsed = time.perf_counter() - t_fold
+        obs.observe("cv.fold_seconds", elapsed)
+        logger.info("fold %d auc=%.4f ap=%.4f (%.2fs)", fold, fold_eval.auc, fold_eval.ap, elapsed)
+        fold_results.append(fold_eval)
+        fold_seconds.append(elapsed)
+    total = time.perf_counter() - t_start
+    return CVResult(
+        fold_results=tuple(fold_results),
+        fold_seconds=tuple(fold_seconds),
+        timings={
+            "total_s": total,
+            "mean_fold_s": float(np.mean(fold_seconds)) if fold_seconds else 0.0,
+        },
+    )

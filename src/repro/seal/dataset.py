@@ -14,19 +14,21 @@ everything eagerly for benchmarks that should time training alone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.graph.batch import GraphBatch, collate
 from repro.graph.structure import Graph
 from repro.graph.subgraph import EnclosingSubgraph, extract_enclosing_subgraph
 from repro.seal.features import FeatureConfig, build_node_features
-from repro.utils.rng import RngLike, as_generator, derive
+from repro.utils.rng import RngLike, derive, ensure_rng
 
 __all__ = [
     "LinkTask",
     "SEALDataset",
+    "CacheInfo",
     "train_test_split_indices",
     "sample_negative_pairs",
 ]
@@ -52,7 +54,7 @@ def sample_negative_pairs(
     """
     if num_pairs < 0:
         raise ValueError("num_pairs must be non-negative")
-    gen = as_generator(rng)
+    gen = ensure_rng(rng)
     banned = set()
     src, dst = graph.edge_index
     for a, b in zip(src.tolist(), dst.tolist()):
@@ -149,7 +151,7 @@ def train_test_split_indices(
     """
     if not 0.0 < test_fraction < 1.0:
         raise ValueError("test_fraction must be in (0, 1)")
-    gen = as_generator(rng)
+    gen = ensure_rng(rng)
     if labels is None:
         perm = gen.permutation(n)
         n_test = max(1, int(round(n * test_fraction)))
@@ -167,13 +169,33 @@ def train_test_split_indices(
     return np.sort(np.concatenate(train_parts)), np.sort(np.concatenate(test_parts))
 
 
+class CacheInfo(NamedTuple):
+    """Subgraph-cache statistics, in the :func:`functools.lru_cache` idiom."""
+
+    hits: int
+    misses: int
+    size: int  # cached entries
+    capacity: int  # total links
+
+
 class SEALDataset:
-    """Materialized SEAL samples (subgraph + features) for a LinkTask."""
+    """Materialized SEAL samples (subgraph + features) for a LinkTask.
+
+    Each link's extraction stream is derived from the dataset seed *and
+    the link index*, so the cached subgraph of link ``i`` is identical
+    no matter in which order links are first visited. (Previously a
+    single shared generator made lazily-extracted subgraphs depend on
+    visitation order — ``iter_batches(shuffle=True)`` with a fresh rng
+    each epoch silently produced different subgraphs than ``prepare()``
+    would have.)
+    """
 
     def __init__(self, task: LinkTask, *, rng: RngLike = None):
         self.task = task
-        self._rng = derive(rng if rng is not None else 0, "seal-extract", task.name)
+        self._rng_seed: RngLike = rng if rng is not None else 0
         self._cache: List[Optional[Tuple[Graph, np.ndarray]]] = [None] * task.num_links
+        self._hits = 0
+        self._misses = 0
 
     def __len__(self) -> int:
         return self.task.num_links
@@ -186,20 +208,40 @@ class SEALDataset:
         """Subgraph and node-feature matrix of link ``i`` (cached)."""
         cached = self._cache[i]
         if cached is not None:
+            self._hits += 1
+            obs.count("seal.cache.hits")
             return cached
+        self._misses += 1
+        obs.count("seal.cache.misses")
         u, v = self.task.pairs[i]
-        sub: EnclosingSubgraph = extract_enclosing_subgraph(
-            self.task.graph,
-            int(u),
-            int(v),
-            k=self.task.num_hops,
-            mode=self.task.subgraph_mode,
-            max_nodes=self.task.max_subgraph_nodes,
-            rng=self._rng,
-        )
-        feats = build_node_features(sub, self.task.feature_config)
+        with obs.trace("extraction"):
+            sub: EnclosingSubgraph = extract_enclosing_subgraph(
+                self.task.graph,
+                int(u),
+                int(v),
+                k=self.task.num_hops,
+                mode=self.task.subgraph_mode,
+                max_nodes=self.task.max_subgraph_nodes,
+                rng=derive(self._rng_seed, "seal-extract", self.task.name, str(int(i))),
+            )
+            feats = build_node_features(sub, self.task.feature_config)
         self._cache[i] = (sub.graph, feats)
         return self._cache[i]
+
+    def cache_info(self) -> CacheInfo:
+        """Hits/misses/occupancy of the subgraph cache."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            size=sum(1 for c in self._cache if c is not None),
+            capacity=len(self._cache),
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every cached subgraph and reset the hit/miss statistics."""
+        self._cache = [None] * self.task.num_links
+        self._hits = 0
+        self._misses = 0
 
     def prepare(self, indices: Optional[Sequence[int]] = None) -> None:
         """Eagerly extract (and cache) the given links (default: all)."""
@@ -225,12 +267,18 @@ class SEALDataset:
         shuffle: bool = False,
         rng: RngLike = None,
     ) -> Iterator[Tuple[GraphBatch, np.ndarray]]:
-        """Yield mini-batches over ``indices`` (optionally shuffled)."""
+        """Yield mini-batches over ``indices`` (optionally shuffled).
+
+        Shuffling only permutes the serving order: extraction results are
+        keyed by link index (see class docstring), so passing a fresh
+        ``rng`` each epoch re-orders batches without ever re-extracting
+        or perturbing cached subgraphs.
+        """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         indices = np.asarray(indices, dtype=np.int64)
         if shuffle:
-            indices = as_generator(rng).permutation(indices)
+            indices = ensure_rng(rng).permutation(indices)
         for start in range(0, len(indices), batch_size):
             chunk = indices[start : start + batch_size]
             yield self.batch(chunk)

@@ -3,15 +3,19 @@
 Produces class probabilities for a set of links and summarizes them with
 the paper's two metrics (§V-A): one-vs-rest AUC and AP (mean per-class
 precision), plus accuracy and the confusion matrix for diagnostics.
+
+Returns a frozen :class:`~repro.seal.results.EvalResult`; evaluation is
+traced under the ``eval`` phase when :mod:`repro.obs` is enabled.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+import time
+from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.metrics.classification import (
     accuracy,
     average_precision,
@@ -22,36 +26,9 @@ from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.nn.tensor import no_grad
 from repro.seal.dataset import SEALDataset
+from repro.seal.results import EvalResult
 
 __all__ = ["EvalResult", "predict_proba", "evaluate"]
-
-
-@dataclass
-class EvalResult:
-    """Evaluation summary for one model on one link set.
-
-    ``auc`` is the macro one-vs-rest AUC (the stable summary used for the
-    reproduction's figures); ``auc_random_class`` follows the paper's
-    literal protocol of scoring a single randomly chosen positive class.
-    ``ap`` is the paper's mean-per-class-precision.
-    """
-
-    auc: float
-    ap: float
-    accuracy: float
-    auc_random_class: float
-    confusion: np.ndarray
-    probs: np.ndarray
-    labels: np.ndarray
-
-    def summary(self) -> Dict[str, float]:
-        """Scalar metrics only (JSON-friendly)."""
-        return {
-            "auc": self.auc,
-            "ap": self.ap,
-            "accuracy": self.accuracy,
-            "auc_random_class": self.auc_random_class,
-        }
 
 
 def predict_proba(
@@ -83,18 +60,34 @@ def evaluate(
     batch_size: int = 64,
     rng_class_pick: int = 0,
 ) -> EvalResult:
-    """Evaluate ``model`` on the links selected by ``indices``."""
+    """Evaluate ``model`` on the links selected by ``indices``.
+
+    The result's ``timings`` mapping splits the wall-clock cost into the
+    model-forward part (``predict_s``) and the metric computation
+    (``metrics_s``).
+    """
     indices = np.asarray(indices, dtype=np.int64)
-    probs = predict_proba(model, dataset, indices, batch_size=batch_size)
-    labels = dataset.task.labels[indices]
-    preds = probs.argmax(axis=1)
-    n_classes = dataset.task.num_classes
-    return EvalResult(
-        auc=multiclass_auc(labels, probs),
-        ap=average_precision(labels, preds, n_classes),
-        accuracy=accuracy(labels, preds),
-        auc_random_class=multiclass_auc(labels, probs, rng=rng_class_pick),
-        confusion=confusion_matrix(labels, preds, n_classes),
-        probs=probs,
-        labels=labels,
-    )
+    with obs.trace("eval"):
+        t0 = time.perf_counter()
+        probs = predict_proba(model, dataset, indices, batch_size=batch_size)
+        t1 = time.perf_counter()
+        labels = dataset.task.labels[indices]
+        preds = probs.argmax(axis=1)
+        n_classes = dataset.task.num_classes
+        result = EvalResult(
+            auc=multiclass_auc(labels, probs),
+            ap=average_precision(labels, preds, n_classes),
+            accuracy=accuracy(labels, preds),
+            auc_random_class=multiclass_auc(labels, probs, rng=rng_class_pick),
+            confusion=confusion_matrix(labels, preds, n_classes),
+            probs=probs,
+            labels=labels,
+            timings={
+                "predict_s": t1 - t0,
+                "metrics_s": time.perf_counter() - t1,
+                "total_s": time.perf_counter() - t0,
+            },
+        )
+    obs.count("seal.eval.calls")
+    obs.count("seal.eval.links", float(len(indices)))
+    return result

@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.graph.batch import collate
 from repro.graph.structure import Graph
 from repro.graph.subgraph import extract_enclosing_subgraph
@@ -52,24 +53,27 @@ def classify_pairs(
     model.eval()
     chunks = []
     try:
-        with no_grad():
+        with no_grad(), obs.trace("inference"):
             for start in range(0, len(pairs), batch_size):
                 chunk = pairs[start : start + batch_size]
                 graphs, feats = [], []
-                for u, v in chunk:
-                    sub = extract_enclosing_subgraph(
-                        graph,
-                        int(u),
-                        int(v),
-                        k=num_hops,
-                        mode=subgraph_mode,
-                        max_nodes=max_subgraph_nodes,
-                        rng=gen,
-                    )
-                    graphs.append(sub.graph)
-                    feats.append(build_node_features(sub, feature_config))
+                with obs.trace("extraction"):
+                    for u, v in chunk:
+                        sub = extract_enclosing_subgraph(
+                            graph,
+                            int(u),
+                            int(v),
+                            k=num_hops,
+                            mode=subgraph_mode,
+                            max_nodes=max_subgraph_nodes,
+                            rng=gen,
+                        )
+                        graphs.append(sub.graph)
+                        feats.append(build_node_features(sub, feature_config))
                 batch = collate(graphs, feats, edge_attr_dim=edge_attr_dim)
-                chunks.append(F.softmax(model(batch), axis=-1).data)
+                with obs.trace("forward"):
+                    chunks.append(F.softmax(model(batch), axis=-1).data)
     finally:
         model.train(was_training)
+    obs.count("seal.inference.pairs", float(len(pairs)))
     return np.concatenate(chunks, axis=0)

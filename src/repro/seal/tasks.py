@@ -20,7 +20,7 @@ import numpy as np
 from repro.graph.structure import Graph
 from repro.seal.dataset import LinkTask, sample_negative_pairs
 from repro.seal.features import FeatureConfig
-from repro.utils.rng import RngLike, as_generator, derive
+from repro.utils.rng import RngLike, derive, ensure_rng
 
 __all__ = ["make_link_prediction_task", "make_link_classification_task"]
 
@@ -55,7 +55,7 @@ def make_link_prediction_task(
     """
     if num_samples < 2:
         raise ValueError("need at least two samples")
-    gen = as_generator(derive(rng, "linkpred", name))
+    gen = ensure_rng(derive(rng, "linkpred", name))
     src, dst = graph.edge_index
     undirected = np.unique(
         np.stack([np.minimum(src, dst), np.maximum(src, dst)], axis=1), axis=0

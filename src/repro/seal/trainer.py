@@ -4,25 +4,35 @@ Mirrors the paper's training protocol: Adam, cross-entropy over link
 classes, a fixed number of epochs (the paper sweeps 2..12 and settles on
 10), shuffled mini-batches. Optionally evaluates on a held-out set after
 every epoch — that per-epoch AUC trace is exactly what Figs. 3–6 plot.
+
+Progress reporting goes through the :class:`~repro.obs.TrainingLogger`
+callback protocol (``callbacks=``); ``verbose=`` is a thin shim that
+attaches the default console callback. The forward/backward/optimizer
+phases are timed into the returned :class:`TrainResult` and traced via
+:mod:`repro.obs` when enabled.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
 from repro.nn.optim import Adam, clip_grad_norm
+from repro.obs.callbacks import ConsoleLogger, TrainingLogger
 from repro.seal.dataset import SEALDataset
 from repro.seal.evaluator import EvalResult, evaluate
+from repro.seal.results import TrainHistory, TrainResult
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngLike, derive
 from repro.utils.timing import Stopwatch
 
-__all__ = ["TrainConfig", "TrainHistory", "train"]
+__all__ = ["TrainConfig", "TrainHistory", "TrainResult", "train"]
 
 logger = get_logger("seal.trainer")
 
@@ -47,23 +57,43 @@ class TrainConfig:
     patience: Optional[int] = None  # stop after this many epochs w/o AUC improvement
 
 
-@dataclass
-class TrainHistory:
-    """Per-epoch traces collected during training."""
+class _EpochCallbackAdapter:
+    """Wraps the legacy ``epoch_callback(epoch, history)`` hook."""
 
-    losses: List[float] = field(default_factory=list)
-    eval_auc: List[float] = field(default_factory=list)
-    eval_ap: List[float] = field(default_factory=list)
-    epoch_seconds: List[float] = field(default_factory=list)
-    best_epoch: Optional[int] = None  # 0-based; set when eval runs
+    def __init__(self, fn: Callable[[int, TrainResult], None]) -> None:
+        self._fn = fn
 
-    @property
-    def final_auc(self) -> Optional[float]:
-        return self.eval_auc[-1] if self.eval_auc else None
+    def on_train_begin(self, config: TrainConfig, result: TrainResult) -> None:
+        pass
 
-    @property
-    def best_auc(self) -> Optional[float]:
-        return max(self.eval_auc) if self.eval_auc else None
+    def on_epoch_end(self, epoch: int, result: TrainResult) -> None:
+        self._fn(epoch, result)
+
+    def on_train_end(self, result: TrainResult) -> None:
+        pass
+
+
+def _resolve_callbacks(
+    callbacks: Optional[Iterable[TrainingLogger]],
+    verbose: Union[bool, None],
+    epoch_callback: Optional[Callable[[int, TrainResult], None]],
+) -> list:
+    resolved = list(callbacks) if callbacks is not None else []
+    if verbose is True:
+        resolved.append(ConsoleLogger(emit=print))
+    elif verbose is None:
+        # Default behavior: epoch lines through the repro logger (visible
+        # after utils.logging.set_verbosity("INFO"), silent otherwise).
+        resolved.append(ConsoleLogger())
+    if epoch_callback is not None:
+        warnings.warn(
+            "epoch_callback= is deprecated; pass callbacks=[...] implementing "
+            "the repro.obs.TrainingLogger protocol instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        resolved.append(_EpochCallbackAdapter(epoch_callback))
+    return resolved
 
 
 def train(
@@ -74,9 +104,11 @@ def train(
     *,
     eval_indices: Optional[Sequence[int]] = None,
     rng: RngLike = 0,
-    epoch_callback: Optional[Callable[[int, TrainHistory], None]] = None,
-) -> TrainHistory:
-    """Train ``model`` in place; returns the loss/metric history.
+    callbacks: Optional[Iterable[TrainingLogger]] = None,
+    verbose: Union[bool, None] = None,
+    epoch_callback: Optional[Callable[[int, TrainResult], None]] = None,
+) -> TrainResult:
+    """Train ``model`` in place; returns the :class:`TrainResult`.
 
     Parameters
     ----------
@@ -88,8 +120,15 @@ def train(
         (feeds the epoch-sweep figures).
     rng: shuffling stream (training is deterministic given model init,
         data and this seed).
-    epoch_callback: hook called as ``callback(epoch, history)`` after each
-        epoch — used by the tuner for early pruning.
+    callbacks: :class:`~repro.obs.TrainingLogger` implementations driven
+        at train begin / epoch end / train end — loggers, metric sinks,
+        tuner pruners.
+    verbose: ``None`` (default) attaches the standard console callback
+        routed through the ``repro.seal.trainer`` logger; ``True`` routes
+        it to stdout via ``print``; ``False`` attaches no console
+        callback at all.
+    epoch_callback: deprecated — legacy ``callback(epoch, result)`` hook,
+        adapted onto the callback list with a :class:`DeprecationWarning`.
     """
     if config.epochs <= 0:
         raise ValueError("epochs must be positive")
@@ -101,58 +140,83 @@ def train(
         raise ValueError("patience (early stopping) requires eval_indices")
     if config.patience is not None and config.patience < 1:
         raise ValueError("patience must be >= 1")
+    cbs = _resolve_callbacks(callbacks, verbose, epoch_callback)
     shuffle_rng = derive(rng, "shuffle")
-    history = TrainHistory()
+    result = TrainResult()
     watch = Stopwatch()
     best_state = None
     model.train()
 
+    for cb in cbs:
+        cb.on_train_begin(config, result)
+
     for epoch in range(config.epochs):
-        epoch_losses: List[float] = []
+        epoch_losses: list = []
         with watch.segment("epoch"):
             for batch, labels in dataset.iter_batches(
                 train_indices, config.batch_size, shuffle=True, rng=shuffle_rng
             ):
-                optimizer.zero_grad()
-                logits = model(batch)
-                loss = cross_entropy(logits, labels, weight=config.class_weights)
-                loss.backward()
-                if config.grad_clip is not None:
-                    clip_grad_norm(model.parameters(), config.grad_clip)
-                optimizer.step()
+                with watch.segment("forward"), obs.trace("forward"):
+                    optimizer.zero_grad()
+                    logits = model(batch)
+                    loss = cross_entropy(logits, labels, weight=config.class_weights)
+                with watch.segment("backward"), obs.trace("backward"):
+                    loss.backward()
+                with watch.segment("optimizer"), obs.trace("optimizer"):
+                    if config.grad_clip is not None:
+                        clip_grad_norm(model.parameters(), config.grad_clip)
+                    optimizer.step()
                 epoch_losses.append(float(loss.data))
-        history.losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
-        history.epoch_seconds.append(watch.totals["epoch"] - sum(history.epoch_seconds))
+        result.losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+        result.epoch_seconds.append(watch.totals["epoch"] - sum(result.epoch_seconds))
+        result.epochs_run = epoch + 1
 
         if eval_indices is not None:
-            result: EvalResult = evaluate(
-                model, dataset, eval_indices, batch_size=config.eval_batch_size
-            )
-            history.eval_auc.append(result.auc)
-            history.eval_ap.append(result.ap)
-            if history.best_epoch is None or result.auc > history.eval_auc[history.best_epoch]:
-                history.best_epoch = epoch
+            with watch.segment("eval"):
+                epoch_eval: EvalResult = evaluate(
+                    model, dataset, eval_indices, batch_size=config.eval_batch_size
+                )
+            result.eval_auc.append(epoch_eval.auc)
+            result.eval_ap.append(epoch_eval.ap)
+            if result.best_epoch is None or epoch_eval.auc > result.eval_auc[result.best_epoch]:
+                result.best_epoch = epoch
                 if config.restore_best:
                     best_state = model.state_dict()
-            logger.info(
-                "epoch %d loss=%.4f auc=%.4f ap=%.4f",
-                epoch + 1,
-                history.losses[-1],
-                result.auc,
-                result.ap,
-            )
-        else:
-            logger.info("epoch %d loss=%.4f", epoch + 1, history.losses[-1])
-        if epoch_callback is not None:
-            epoch_callback(epoch, history)
+        _update_phase_seconds(result, watch)
+        for cb in cbs:
+            cb.on_epoch_end(epoch, result)
         if (
             config.patience is not None
-            and history.best_epoch is not None
-            and epoch - history.best_epoch >= config.patience
+            and result.best_epoch is not None
+            and epoch - result.best_epoch >= config.patience
         ):
-            logger.info("early stop at epoch %d (best was %d)", epoch + 1, history.best_epoch + 1)
+            logger.info("early stop at epoch %d (best was %d)", epoch + 1, result.best_epoch + 1)
             break
+    for cb in cbs:
+        cb.on_train_end(result)
     if config.restore_best and best_state is not None:
         model.load_state_dict(best_state)
-        logger.info("restored best epoch %d (auc=%.4f)", history.best_epoch + 1, history.best_auc)
-    return history
+        logger.info("restored best epoch %d (auc=%.4f)", result.best_epoch + 1, result.best_auc)
+    return result
+
+
+def _update_phase_seconds(result: TrainResult, watch: Stopwatch) -> None:
+    """Refresh the wall-time breakdown from the stopwatch totals.
+
+    ``data`` is everything inside the epoch loop that is not the three
+    compute phases — i.e. subgraph extraction + collation served by
+    ``iter_batches``.
+    """
+    forward = watch.totals["forward"]
+    backward = watch.totals["backward"]
+    optim = watch.totals["optimizer"]
+    epoch_total = watch.totals["epoch"]
+    eval_total = watch.totals["eval"]
+    result.phase_seconds = {
+        "forward": forward,
+        "backward": backward,
+        "optimizer": optim,
+        "data": max(epoch_total - forward - backward - optim, 0.0),
+        "eval": eval_total,
+        "total": epoch_total + eval_total,
+    }

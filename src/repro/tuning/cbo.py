@@ -13,16 +13,18 @@ interface.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.tuning.acquisition import expected_improvement
 from repro.tuning.gp import GaussianProcess
 from repro.tuning.space import SearchSpace, Value
 from repro.utils.logging import get_logger
-from repro.utils.rng import RngLike, as_generator
+from repro.utils.rng import RngLike, ensure_rng
 
 __all__ = ["Trial", "TuneResult", "CBOTuner"]
 
@@ -31,11 +33,16 @@ logger = get_logger("tuning.cbo")
 
 @dataclass
 class Trial:
-    """One evaluated configuration."""
+    """One evaluated configuration.
+
+    ``seconds`` is the wall-clock cost of the evaluator call — the
+    per-trial cost trace tuner-efficiency comparisons plot.
+    """
 
     config: Dict[str, Value]
     score: float
     index: int
+    seconds: float = 0.0
 
 
 @dataclass
@@ -90,7 +97,7 @@ class CBOTuner:
         self.n_initial = n_initial
         self.candidate_pool = candidate_pool
         self.xi = xi
-        self._gen = as_generator(rng)
+        self._gen = ensure_rng(rng)
 
     def suggest(self, trials: List[Trial]) -> Dict[str, Value]:
         """Next configuration to evaluate given past trials."""
@@ -117,11 +124,17 @@ class CBOTuner:
             raise ValueError("n_trials must be >= 1")
         result = TuneResult()
         for i in range(n_trials):
-            config = self.suggest(result.trials)
-            score = float(evaluator(config))
-            trial = Trial(config=config, score=score, index=i)
+            with obs.trace("suggest"):
+                config = self.suggest(result.trials)
+            t0 = time.perf_counter()
+            with obs.trace("trial"):
+                score = float(evaluator(config))
+            elapsed = time.perf_counter() - t0
+            obs.count("tuning.trials")
+            obs.observe("tuning.trial_seconds", elapsed)
+            trial = Trial(config=config, score=score, index=i, seconds=elapsed)
             result.trials.append(trial)
-            logger.info("trial %d score=%.4f config=%s", i, score, config)
+            logger.info("trial %d score=%.4f %.2fs config=%s", i, score, elapsed, config)
             if callback is not None:
                 callback(trial)
         return result

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict
 
+from repro import obs
 from repro.tuning.cbo import Trial, TuneResult
 from repro.tuning.space import SearchSpace, Value
-from repro.utils.rng import RngLike, as_generator
+from repro.utils.rng import RngLike, ensure_rng
 
 __all__ = ["random_search"]
 
@@ -20,9 +22,15 @@ def random_search(
     """Evaluate ``n_trials`` uniform random configurations."""
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
-    gen = as_generator(rng)
+    gen = ensure_rng(rng)
     result = TuneResult()
     for i in range(n_trials):
         config = space.sample(gen)
-        result.trials.append(Trial(config=config, score=float(evaluator(config)), index=i))
+        t0 = time.perf_counter()
+        with obs.trace("trial"):
+            score = float(evaluator(config))
+        elapsed = time.perf_counter() - t0
+        obs.count("tuning.trials")
+        obs.observe("tuning.trial_seconds", elapsed)
+        result.trials.append(Trial(config=config, score=score, index=i, seconds=elapsed))
     return result

@@ -17,7 +17,7 @@ from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.utils.rng import RngLike, as_generator
+from repro.utils.rng import RngLike, ensure_rng
 
 __all__ = ["Real", "Integer", "Choice", "SearchSpace", "paper_table1_space"]
 
@@ -137,7 +137,7 @@ class SearchSpace:
 
     def sample(self, gen_or_seed: RngLike = None) -> Dict[str, Value]:
         """One random configuration."""
-        gen = as_generator(gen_or_seed)
+        gen = ensure_rng(gen_or_seed)
         return {d.name: d.sample(gen) for d in self.dimensions}
 
     def encode(self, config: Dict[str, Value]) -> np.ndarray:

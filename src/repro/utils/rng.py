@@ -15,11 +15,15 @@ import numpy as np
 
 RngLike = Union[None, int, np.random.Generator]
 
-__all__ = ["RngLike", "as_generator", "spawn", "derive"]
+__all__ = ["RngLike", "ensure_rng", "as_generator", "spawn", "derive"]
 
 
-def as_generator(rng: RngLike = None) -> np.random.Generator:
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    The single coercion path every public ``rng=`` parameter goes
+    through — accept ``RngLike``, call ``ensure_rng`` once at the top,
+    and pass real generators internally.
 
     Parameters
     ----------
@@ -34,6 +38,11 @@ def as_generator(rng: RngLike = None) -> np.random.Generator:
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
+
+
+#: Legacy name for :func:`ensure_rng`, kept for call sites predating the
+#: unification; new code should spell it ``ensure_rng``.
+as_generator = ensure_rng
 
 
 def spawn(rng: RngLike, n: int) -> List[np.random.Generator]:

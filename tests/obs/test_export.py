@@ -1,0 +1,61 @@
+"""JSON/CSV exporter round-trips."""
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import load_csv, load_json, to_csv, to_json, write_csv, write_json
+
+
+@pytest.fixture
+def populated_registry():
+    reg = obs.MetricsRegistry()
+    reg.count("cache.hits", 7)
+    reg.count("cache.misses", 3)
+    reg.gauge("loss", 0.4375)
+    for v in (0.001, 0.002, 0.004, 0.010):
+        reg.observe("batch_seconds", v)
+    with reg.phase("epoch"):
+        with reg.phase("forward"):
+            pass
+    return reg
+
+
+class TestJson:
+    def test_round_trip_text(self, populated_registry):
+        snap = populated_registry.snapshot()
+        assert load_json(to_json(populated_registry)) == snap
+
+    def test_round_trip_file(self, populated_registry, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        write_json(populated_registry, path)
+        assert load_json(path) == populated_registry.snapshot()
+
+    def test_accepts_snapshot_dict(self, populated_registry):
+        snap = populated_registry.snapshot()
+        assert load_json(to_json(snap)) == snap
+
+
+class TestCsv:
+    def test_round_trip_text(self, populated_registry):
+        snap = populated_registry.snapshot()
+        assert load_csv(to_csv(populated_registry)) == snap
+
+    def test_round_trip_file(self, populated_registry, tmp_path):
+        path = str(tmp_path / "metrics.csv")
+        write_csv(populated_registry, path)
+        assert load_csv(path) == populated_registry.snapshot()
+
+    def test_header_and_kinds(self, populated_registry):
+        text = to_csv(populated_registry)
+        lines = text.strip().splitlines()
+        assert lines[0] == "kind,name,field,value"
+        kinds = {line.split(",")[0] for line in lines[1:]}
+        assert kinds == {"counter", "gauge", "histogram", "phase"}
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ValueError):
+            load_csv("a,b,c,d\ncounter,x,value,1")
+
+    def test_empty_registry_round_trips(self):
+        reg = obs.MetricsRegistry()
+        assert load_csv(to_csv(reg)) == reg.snapshot()

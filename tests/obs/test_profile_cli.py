@@ -1,0 +1,60 @@
+"""The ``python -m repro profile`` subcommand (CI smoke target)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.profile import CORE_PHASES, run_profile
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    """One shared --smoke run (the expensive part of this module)."""
+    return run_profile(scale=0.12, num_targets=40, epochs=1, batch_size=8)
+
+
+class TestRunProfile:
+    def test_core_phases_present(self, smoke_report):
+        for phase in CORE_PHASES:
+            assert phase in smoke_report["phases"], phase
+            assert smoke_report["phases"][phase]["seconds"] >= 0.0
+            assert smoke_report["phases"][phase]["calls"] >= 1
+
+    def test_train_breakdown(self, smoke_report):
+        ps = smoke_report["train"]["phase_seconds"]
+        for key in ("forward", "backward", "optimizer", "data", "eval", "total"):
+            assert key in ps
+        assert ps["total"] >= ps["forward"]
+
+    def test_cache_fully_populated(self, smoke_report):
+        cache = smoke_report["cache"]
+        assert cache["size"] == cache["capacity"] == cache["misses"]
+
+    def test_report_is_json_serializable(self, smoke_report):
+        text = json.dumps(smoke_report)
+        assert "extraction" in text
+
+    def test_obs_left_disabled(self, smoke_report):
+        import repro.obs as obs
+
+        assert not obs.enabled()
+
+
+class TestCliSmoke:
+    def test_profile_smoke_emits_breakdown(self, capsys, tmp_path):
+        json_path = str(tmp_path / "report.json")
+        csv_path = str(tmp_path / "report.csv")
+        assert main(["profile", "--smoke", "--json", json_path, "--csv", csv_path]) == 0
+        report = json.loads(capsys.readouterr().out)
+        for phase in CORE_PHASES:
+            assert phase in report["phases"], phase
+        # Side outputs match stdout.
+        with open(json_path) as fh:
+            assert json.load(fh)["phases"].keys() == report["phases"].keys()
+        with open(csv_path) as fh:
+            assert fh.readline().strip() == "kind,name,field,value"
+
+    def test_profile_in_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "profile" in capsys.readouterr().out

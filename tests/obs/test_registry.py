@@ -1,0 +1,157 @@
+"""MetricsRegistry: counters, gauges, histograms, phase nesting, gating."""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.obs import HistogramSummary, MetricsRegistry
+
+
+class TestRegistryPrimitives:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.count("hits")
+        reg.count("hits", 2.0)
+        assert reg.counters["hits"] == 3.0
+
+    def test_gauge_keeps_latest(self):
+        reg = MetricsRegistry()
+        reg.gauge("loss", 1.5)
+        reg.gauge("loss", 0.7)
+        assert reg.gauges["loss"] == 0.7
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            reg.observe("lat", v)
+        s = reg.histograms["lat"].summary()
+        assert s["count"] == 4
+        assert s["sum"] == 10.0
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["mean"] == 2.5
+        assert s["p50"] == 2.5
+
+    def test_histogram_percentile_bounds(self):
+        h = HistogramSummary()
+        assert h.percentile(50) == 0.0  # empty
+        h.add(5.0)
+        assert h.percentile(0) == 5.0
+        assert h.percentile(100) == 5.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_histogram_reservoir_bounded(self):
+        h = HistogramSummary()
+        for v in range(10_000):
+            h.add(float(v))
+        assert h.count == 10_000
+        assert len(h.reservoir) <= 512
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.gauge("b", 1.0)
+        reg.observe("c", 1.0)
+        with reg.phase("p"):
+            pass
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}, "phases": {}}
+
+
+class TestPhaseNesting:
+    def test_nested_keys(self):
+        reg = MetricsRegistry()
+        with reg.phase("epoch"):
+            with reg.phase("forward"):
+                pass
+            with reg.phase("forward"):
+                pass
+        assert reg.phase_counts["epoch"] == 1
+        assert reg.phase_counts["epoch/forward"] == 2
+        assert reg.phase_totals["epoch"] >= reg.phase_totals["epoch/forward"]
+
+    def test_leaf_aggregation(self):
+        reg = MetricsRegistry()
+        with reg.phase("train"):
+            with reg.phase("forward"):
+                pass
+        with reg.phase("eval"):
+            with reg.phase("forward"):
+                pass
+        leaves = reg.leaf_counts()
+        assert leaves["forward"] == 2
+        assert leaves["train"] == 1
+        totals = reg.leaf_totals()
+        assert totals["forward"] == pytest.approx(
+            reg.phase_totals["train/forward"] + reg.phase_totals["eval/forward"]
+        )
+
+    def test_stack_unwinds_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.phase("outer"):
+                with reg.phase("inner"):
+                    raise RuntimeError("boom")
+        # Both phases recorded and the stack is empty again.
+        assert reg.phase_counts["outer"] == 1
+        assert reg.phase_counts["outer/inner"] == 1
+        with reg.phase("after"):
+            pass
+        assert "after" in reg.phase_totals  # not "outer/after"
+
+    def test_report_lists_phases(self):
+        reg = MetricsRegistry()
+        with reg.phase("slow"):
+            pass
+        assert "slow" in reg.report()
+
+
+class TestGlobalGating:
+    def test_disabled_trace_is_noop(self):
+        assert not obs.enabled()
+        before = dict(obs.get_registry().phase_counts)
+        with obs.trace("nothing"):
+            pass
+        obs.count("nothing")
+        obs.observe("nothing", 1.0)
+        assert dict(obs.get_registry().phase_counts) == before
+        assert "nothing" not in obs.get_registry().counters
+        assert "nothing" not in obs.get_registry().histograms
+
+    def test_capture_enables_and_restores(self):
+        outer = obs.get_registry()
+        assert not obs.enabled()
+        with obs.capture() as reg:
+            assert obs.enabled()
+            assert obs.get_registry() is reg
+            with obs.trace("work"):
+                obs.count("done")
+        assert not obs.enabled()
+        assert obs.get_registry() is outer
+        assert reg.phase_counts["work"] == 1
+        assert reg.counters["done"] == 1.0
+
+    def test_nested_capture_restores_enabled_state(self):
+        with obs.capture() as outer_reg:
+            with obs.capture() as inner_reg:
+                obs.count("inner")
+            # Inner capture exits: still enabled, outer registry back.
+            assert obs.enabled()
+            obs.count("outer")
+        assert not obs.enabled()
+        assert "inner" in inner_reg.counters
+        assert "outer" in outer_reg.counters
+        assert "inner" not in outer_reg.counters
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        with obs.capture() as reg:
+            obs.count("c", 2)
+            obs.observe("h", 0.5)
+            with obs.trace("p"):
+                pass
+        text = json.dumps(reg.snapshot())
+        assert "p" in text
