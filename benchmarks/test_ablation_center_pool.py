@@ -10,6 +10,7 @@ from repro.datasets import load_primekg_like
 from repro.models import AMDGCNN
 from repro.seal import SEALDataset, evaluate, train, train_test_split_indices
 from repro.seal.trainer import TrainConfig
+from repro.data import warm
 
 
 def run_variant(ds, task, tr, te, center_pool: bool):
@@ -33,8 +34,7 @@ def test_ablation_center_pool(benchmark):
     task = load_primekg_like(scale=0.25, num_targets=400, rng=0)
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
-    ds.prepare()
-
+    warm(ds)
     def run_both():
         return (
             run_variant(ds, task, tr, te, True),

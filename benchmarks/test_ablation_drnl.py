@@ -11,6 +11,7 @@ import dataclasses
 from repro.datasets import load_cora_like
 from repro.experiments.config import DEFAULT_HPARAMS, build_model, train_config_for
 from repro.seal import SEALDataset, evaluate, train, train_test_split_indices
+from repro.data import warm
 
 
 def run_variant(task, use_drnl: bool):
@@ -18,7 +19,7 @@ def run_variant(task, use_drnl: bool):
     task = dataclasses.replace(task, feature_config=fc)
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
-    ds.prepare()
+    warm(ds)
     model = build_model(
         "am_dgcnn", ds.feature_width, task.num_classes, task.edge_attr_dim,
         DEFAULT_HPARAMS, rng=1,

@@ -15,6 +15,7 @@ from repro.datasets import load_wordnet_like
 from repro.models import AMDGCNN
 from repro.seal import SEALDataset, evaluate, train, train_test_split_indices
 from repro.seal.trainer import TrainConfig
+from repro.data import warm
 
 
 def run_variant(ds, task, tr, te, edge_in_message: bool):
@@ -38,8 +39,7 @@ def test_ablation_edge_in_message(benchmark):
     task = load_wordnet_like(scale=0.25, num_targets=240, rng=0)
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
-    ds.prepare()
-
+    warm(ds)
     def run_both():
         return (
             run_variant(ds, task, tr, te, True),

@@ -23,6 +23,7 @@ from repro.embeddings import node2vec_embeddings
 from repro.experiments.config import DEFAULT_HPARAMS, build_model, train_config_for
 from repro.seal import SEALDataset, evaluate, train, train_test_split_indices
 from repro.utils import Timer
+from repro.data import warm
 
 
 def run_variant(task, use_embeddings: bool):
@@ -37,7 +38,7 @@ def run_variant(task, use_embeddings: bool):
         task = dataclasses.replace(task, feature_config=fc)
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
-    ds.prepare()
+    warm(ds)
     model = build_model(
         "am_dgcnn", ds.feature_width, task.num_classes, task.edge_attr_dim,
         DEFAULT_HPARAMS, rng=1,

@@ -13,6 +13,7 @@ import numpy as np
 from repro.datasets import load_primekg_like
 from repro.experiments.config import DEFAULT_HPARAMS, build_model, train_config_for
 from repro.seal import SEALDataset, evaluate, train, train_test_split_indices
+from repro.data import warm
 
 
 def run_mode(mode: str):
@@ -20,7 +21,7 @@ def run_mode(mode: str):
     task = dataclasses.replace(task, subgraph_mode=mode, max_subgraph_nodes=None)
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
-    ds.prepare()
+    warm(ds)
     sizes = np.array([ds.extract(i)[0].num_nodes for i in range(len(ds))])
     model = build_model(
         "am_dgcnn", ds.feature_width, task.num_classes, task.edge_attr_dim,

@@ -11,6 +11,7 @@ from repro.experiments.config import DEFAULT_HPARAMS, build_model, train_config_
 from repro.heuristics import HeuristicLinkClassifier
 from repro.metrics import accuracy, multiclass_auc
 from repro.seal import SEALDataset, evaluate, train, train_test_split_indices
+from repro.data import warm
 
 
 def run_heuristic(task, tr, te):
@@ -25,7 +26,7 @@ def run_heuristic(task, tr, te):
 
 def run_am(task, tr, te):
     ds = SEALDataset(task, rng=0)
-    ds.prepare()
+    warm(ds)
     model = build_model(
         "am_dgcnn", ds.feature_width, task.num_classes, task.edge_attr_dim,
         DEFAULT_HPARAMS, rng=1,

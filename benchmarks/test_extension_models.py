@@ -24,6 +24,7 @@ from repro.seal import (
     train,
     train_test_split_indices,
 )
+from repro.data import warm
 
 
 def fit_gnn(model, ds, tr, te):
@@ -35,7 +36,7 @@ def test_extension_model_spectrum(benchmark):
     task = load_wordnet_like(scale=0.25, num_targets=260, rng=0)
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
-    ds.prepare()
+    warm(ds)
     common = dict(hidden_dim=32, num_conv_layers=2, sort_k=25, dropout=0.0, rng=1)
 
     def run_all():

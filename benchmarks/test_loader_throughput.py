@@ -1,0 +1,115 @@
+"""Loader throughput: parallel extraction must not lose to serial.
+
+Times a full warm (extract every link into the SubgraphStore) of a
+synthetic 500-link task, serial vs ``num_workers=2``, and appends the
+measurement to ``results/BENCH_loader.json``. The task is sized so
+extraction work dominates the worker-pool startup cost — the regime the
+parallel loader exists for.
+
+On a machine with a single usable core (CI containers), two workers can
+only time-slice that core and additionally pay IPC, so "not slower" is
+physically unattainable; there the test instead bounds the parallel
+overhead. The strict parallel ≥ serial assertion runs whenever ≥ 2 cores
+are available.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader
+from repro.graph.generators import erdos_renyi_edges
+from repro.graph.structure import Graph
+from repro.seal.dataset import LinkTask, SEALDataset, sample_negative_pairs
+from repro.seal.features import FeatureConfig
+
+RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_loader.json"
+NUM_LINKS = 500
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def task() -> LinkTask:
+    n = 600
+    edges = erdos_renyi_edges(n, 0.02, rng=0)
+    etype = np.arange(len(edges)) % 3
+    g = Graph.from_undirected(n, edges, edge_type=etype, edge_attr=np.eye(3)[etype])
+    pos = edges[:NUM_LINKS // 2]
+    neg = sample_negative_pairs(g, NUM_LINKS // 2, exclude=pos, rng=1)
+    pairs = np.concatenate([pos, neg])
+    labels = np.array([1] * (NUM_LINKS // 2) + [0] * (NUM_LINKS // 2))
+    return LinkTask(
+        graph=g,
+        pairs=pairs,
+        labels=labels,
+        num_classes=2,
+        feature_config=FeatureConfig(num_node_types=1, use_drnl=True),
+        edge_attr_dim=3,
+        name="loader-bench",
+    )
+
+
+def time_warm(task: LinkTask, num_workers: int, repeats: int = 2) -> float:
+    """Best-of-N wall time of a full cold warm at the given worker count."""
+    best = float("inf")
+    for _ in range(repeats):
+        ds = SEALDataset(task, rng=0)
+        with DataLoader(ds, batch_size=64, num_workers=num_workers) as loader:
+            t0 = time.perf_counter()
+            loader.warm()
+            best = min(best, time.perf_counter() - t0)
+        assert ds.cache_info().size == task.num_links
+    return best
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_parallel_warm_not_slower_than_serial(task):
+    cores = usable_cores()
+    serial_s = time_warm(task, num_workers=0)
+    parallel_s = time_warm(task, num_workers=WORKERS)
+    speedup = serial_s / parallel_s
+
+    record = {
+        "benchmark": "loader_warm_throughput",
+        "num_links": NUM_LINKS,
+        "num_nodes": int(task.graph.num_nodes),
+        "num_workers": WORKERS,
+        "usable_cores": cores,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(speedup, 3),
+        "links_per_s_serial": round(NUM_LINKS / serial_s, 1),
+        "links_per_s_parallel": round(NUM_LINKS / parallel_s, 1),
+        "unix_time": int(time.time()),
+    }
+    history = json.loads(RESULTS.read_text()) if RESULTS.exists() else []
+    history.append(record)
+    RESULTS.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(
+        f"\nloader warm ({cores} core(s)): serial {serial_s:.2f}s, "
+        f"{WORKERS} workers {parallel_s:.2f}s ({speedup:.2f}x)"
+    )
+    if cores >= 2:
+        # Small tolerance so scheduler noise can't fail a genuinely-equal run.
+        assert parallel_s <= serial_s * 1.05, (
+            f"parallel warm slower than serial: {parallel_s:.2f}s vs {serial_s:.2f}s"
+        )
+    else:
+        # One core: no parallelism is possible, only overhead — bound it.
+        assert parallel_s <= serial_s * 1.5, (
+            f"single-core parallel overhead too high: "
+            f"{parallel_s:.2f}s vs {serial_s:.2f}s"
+        )

@@ -16,6 +16,7 @@ from repro.models.sort_pool import sort_pool
 from repro.nn.indexing import gather, segment_softmax, segment_sum
 from repro.nn.losses import cross_entropy
 from repro.nn.tensor import Tensor
+from repro.data import warm
 
 
 @pytest.fixture(scope="module")
@@ -92,6 +93,35 @@ def test_sort_pool_throughput(benchmark):
     assert out.shape == (graphs, 30, 40)
 
 
+def test_collate_throughput(benchmark):
+    """Block-diagonal collation of 64 cached subgraphs (preallocated fill)."""
+    from repro.seal import SEALDataset
+
+    task = load_primekg_like(scale=0.25, num_targets=64, rng=0)
+    ds = SEALDataset(task, rng=0)
+    warm(ds)
+    extracted = [ds.extract(i) for i in range(64)]
+    graphs = [g for g, _ in extracted]
+    feats = [f for _, f in extracted]
+    out = benchmark(lambda: collate(graphs, feats, edge_attr_dim=task.edge_attr_dim))
+    assert out.num_graphs == 64
+
+
+def test_store_collate_throughput(benchmark):
+    """Same batch served straight from the packed SubgraphStore slices."""
+    from repro.data import collate_from_store
+    from repro.seal import SEALDataset
+
+    task = load_primekg_like(scale=0.25, num_targets=64, rng=0)
+    ds = SEALDataset(task, rng=0)
+    warm(ds)
+    idx = np.arange(64)
+    out = benchmark(
+        lambda: collate_from_store(ds.store, idx, edge_attr_dim=task.edge_attr_dim)
+    )
+    assert out.num_graphs == 64
+
+
 def test_training_step_cost(benchmark):
     """One full DGCNN training step on a realistic mini-batch."""
     from repro.experiments.config import DEFAULT_HPARAMS, build_model
@@ -100,7 +130,7 @@ def test_training_step_cost(benchmark):
 
     task = load_primekg_like(scale=0.25, num_targets=48, rng=0)
     ds = SEALDataset(task, rng=0)
-    ds.prepare()
+    warm(ds)
     batch, labels = ds.batch(np.arange(16))
     model = build_model(
         "am_dgcnn", ds.feature_width, task.num_classes, task.edge_attr_dim,

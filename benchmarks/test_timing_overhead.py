@@ -15,6 +15,7 @@ import repro.obs as obs
 from repro.datasets import load_primekg_like
 from repro.models import AMDGCNN, VanillaDGCNN
 from repro.seal import SEALDataset, TrainConfig, train, train_test_split_indices
+from repro.data import warm
 
 
 def time_model(Model, ds, task, tr, **kw):
@@ -31,8 +32,7 @@ def test_training_latency_overhead(benchmark):
     task = load_primekg_like(scale=0.25, num_targets=200, rng=0)
     ds = SEALDataset(task, rng=0)
     tr, _ = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
-    ds.prepare()
-
+    warm(ds)
     def run_both():
         am = time_model(AMDGCNN, ds, task, tr, edge_dim=task.edge_attr_dim, heads=2)
         vanilla = time_model(VanillaDGCNN, ds, task, tr)
@@ -61,8 +61,7 @@ def test_obs_instrumentation_overhead(benchmark):
     task = load_primekg_like(scale=0.2, num_targets=150, rng=0)
     ds = SEALDataset(task, rng=0)
     tr, _ = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
-    ds.prepare()
-
+    warm(ds)
     def one_run():
         model = AMDGCNN(
             ds.feature_width, task.num_classes, edge_dim=task.edge_attr_dim,

@@ -27,6 +27,7 @@ from repro.seal import (
     train,
     train_test_split_indices,
 )
+from repro.data import warm
 
 
 def main() -> None:
@@ -40,8 +41,7 @@ def main() -> None:
     train_idx, test_idx = train_test_split_indices(
         task.num_links, 0.25, labels=task.labels, rng=0
     )
-    dataset.prepare()
-
+    warm(dataset)
     # Inverse-frequency class weights mitigate the imbalance.
     weights = counts.sum() / np.maximum(counts, 1) / task.num_classes
 

@@ -30,6 +30,7 @@ from repro.seal import (
     make_link_prediction_task,
 )
 from repro.utils import save_arrays
+from repro.data import warm
 
 
 def build_collaboration_network(rng=0) -> Graph:
@@ -55,7 +56,7 @@ def main() -> None:
     # 1. Wrap the graph into a balanced existence task.
     task = make_link_prediction_task(graph, num_samples=200, name="collab", rng=0)
     dataset = SEALDataset(task, rng=0)
-    dataset.prepare()
+    warm(dataset)
     print(f"task: {task.num_links} links, feature width {dataset.feature_width}")
 
     # 2. 3-fold cross-validated AM-DGCNN.

@@ -35,6 +35,7 @@ from repro.seal import (
     train,
     train_test_split_indices,
 )
+from repro.data import warm
 
 
 def score_raw_heuristics(task, test_idx) -> None:
@@ -65,7 +66,7 @@ def score_raw_heuristics(task, test_idx) -> None:
 
 def run_gnn(task, train_idx, test_idx) -> float:
     dataset = SEALDataset(task, rng=0)
-    dataset.prepare()
+    warm(dataset)
     model = AMDGCNN(
         dataset.feature_width,
         task.num_classes,

@@ -17,14 +17,14 @@ import argparse
 
 from repro.datasets import load_cora_like
 from repro.models import AMDGCNN
-from repro.seal import (
-    SEALDataset,
-    TrainConfig,
-    evaluate,
-    train,
-    train_test_split_indices,
+from repro.seal import SEALDataset, train_test_split_indices
+from repro.tuning import (
+    CBOTuner,
+    make_seal_evaluator,
+    paper_table1_space,
+    random_search,
 )
-from repro.tuning import CBOTuner, paper_table1_space, random_search
+from repro.data import warm
 
 
 def main() -> None:
@@ -39,11 +39,11 @@ def main() -> None:
     train_idx, valid_idx = train_test_split_indices(
         task.num_links, 0.3, labels=task.labels, rng=0
     )
-    dataset.prepare()
+    warm(dataset)
 
-    def evaluator(config) -> float:
-        """Train with `config`, return validation AUC (the CBO objective)."""
-        model = AMDGCNN(
+    def build_model(config):
+        """Fresh AM-DGCNN for one configuration (the CBO decision variables)."""
+        return AMDGCNN(
             dataset.feature_width,
             task.num_classes,
             edge_dim=task.edge_attr_dim,
@@ -54,14 +54,11 @@ def main() -> None:
             dropout=0.0,
             rng=1,
         )
-        train(
-            model,
-            dataset,
-            train_idx,
-            TrainConfig(epochs=5, batch_size=16, lr=float(config["lr"])),
-            rng=1,
-        )
-        return evaluate(model, dataset, valid_idx).auc
+
+    # Train with each config, return validation AUC (the CBO objective).
+    evaluator = make_seal_evaluator(
+        dataset, train_idx, valid_idx, build_model, epochs=5, batch_size=16, rng=1
+    )
 
     space = paper_table1_space()
     print(f"search space: {[d.name for d in space.dimensions]}")

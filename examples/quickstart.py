@@ -23,6 +23,7 @@ from repro.seal import (
     train_test_split_indices,
 )
 from repro.utils import Timer, set_verbosity
+from repro.data import warm
 
 
 def main() -> None:
@@ -43,7 +44,7 @@ def main() -> None:
         task.num_links, test_fraction=0.25, labels=task.labels, rng=0
     )
     with Timer() as t:
-        dataset.prepare()
+        warm(dataset)
     print(f"extracted {len(dataset)} enclosing subgraphs in {t.elapsed:.1f}s")
 
     # 3. Train both models with identical readouts; the only difference

@@ -22,6 +22,7 @@ from repro.seal import (
     train,
     train_test_split_indices,
 )
+from repro.data import warm
 
 
 def build_models(dataset: SEALDataset, task):
@@ -60,8 +61,7 @@ def main() -> None:
     train_idx, test_idx = train_test_split_indices(
         task.num_links, 0.25, labels=task.labels, rng=0
     )
-    dataset.prepare()
-
+    warm(dataset)
     config = TrainConfig(epochs=10, batch_size=16, lr=3e-3)
     print(f"\ntraining 3 models on {len(train_idx)} links "
           f"({task.num_classes} relation classes)\n")

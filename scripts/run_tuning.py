@@ -18,37 +18,26 @@ import time
 
 from repro.datasets import dataset_names, load_dataset
 from repro.experiments.config import MODEL_NAMES, ModelHyperparams, build_model
-from repro.seal import (
-    SEALDataset,
-    TrainConfig,
-    evaluate,
-    train,
-    train_test_split_indices,
-)
-from repro.tuning import CBOTuner, paper_table1_space
+from repro.seal import SEALDataset, train_test_split_indices
+from repro.tuning import CBOTuner, make_seal_evaluator, paper_table1_space
+from repro.data import warm
 
 TUNE_TARGETS = {"primekg": 300, "biokg": 200, "wordnet": 300, "cora": 200}
 
 
 def make_evaluator(ds, task, tr, va, model_name):
-    def evaluator(config) -> float:
+    def builder(config):
         hp = ModelHyperparams(
             lr=float(config["lr"]),
             hidden_dim=int(config["hidden_dim"]),
             sort_k=int(config["sort_k"]),
         )
-        model = build_model(
+        return build_model(
             model_name, ds.feature_width, task.num_classes, task.edge_attr_dim,
             hp, rng=1,
         )
-        train(
-            model, ds, tr,
-            TrainConfig(epochs=5, batch_size=16, lr=hp.lr),
-            rng=1,
-        )
-        return evaluate(model, ds, va).auc
 
-    return evaluator
+    return make_seal_evaluator(ds, tr, va, builder, epochs=5, batch_size=16, rng=1)
 
 
 def main() -> None:
@@ -63,7 +52,7 @@ def main() -> None:
         task = load_dataset(name, scale=args.scale, rng=0, num_targets=TUNE_TARGETS[name])
         ds = SEALDataset(task, rng=0)
         tr, va = train_test_split_indices(task.num_links, 0.3, labels=task.labels, rng=0)
-        ds.prepare()
+        warm(ds)
         results[name] = {}
         for model_name in MODEL_NAMES:
             t0 = time.time()

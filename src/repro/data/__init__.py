@@ -1,0 +1,44 @@
+"""repro.data — the data-loading layer of the SEAL pipeline.
+
+Splits the data path into three replaceable pieces, the PyG/DGL loader
+architecture adapted to per-link enclosing-subgraph workloads:
+
+* **Samplers** (:mod:`repro.data.samplers`) order link indices into
+  batches: sequential, seeded shuffle, or class-stratified.
+* **SubgraphStore** (:mod:`repro.data.store`) holds every extracted
+  subgraph in packed contiguous arrays with O(1) per-link slicing.
+* **DataLoader** (:mod:`repro.data.loader`) drives extraction (serially
+  or via a ``multiprocessing`` worker pool with bounded prefetch) and
+  collates store slices into :class:`~repro.graph.batch.GraphBatch`
+  objects. ``num_workers=N`` is bit-identical to ``num_workers=0``
+  under the same seed.
+
+Every SEAL consumer — trainer, evaluator, inference, cross-validation,
+tuners, experiment runner — feeds from this layer;
+``SEALDataset.iter_batches``/``prepare()`` remain only as deprecated
+shims over it.
+"""
+
+from repro.data.extraction import build_packed_sample
+from repro.data.loader import DataLoader, collate_from_store, warm
+from repro.data.samplers import (
+    Sampler,
+    SequentialSampler,
+    ShuffleSampler,
+    StratifiedBatchSampler,
+)
+from repro.data.store import PackedSubgraph, StoreInfo, SubgraphStore
+
+__all__ = [
+    "Sampler",
+    "SequentialSampler",
+    "ShuffleSampler",
+    "StratifiedBatchSampler",
+    "SubgraphStore",
+    "PackedSubgraph",
+    "StoreInfo",
+    "DataLoader",
+    "collate_from_store",
+    "warm",
+    "build_packed_sample",
+]

@@ -1,0 +1,55 @@
+"""Per-link subgraph + feature construction, shared by serial and worker paths.
+
+:func:`build_packed_sample` is the single function that turns a link
+index into its packed SEAL sample (enclosing subgraph + node-attribute
+matrix). The extraction stream is derived from the dataset seed *and the
+link index*, never from shared mutable state, so the same link produces
+bit-identical arrays no matter which process builds it or in what order
+— the property the parallel :class:`repro.data.DataLoader` relies on to
+guarantee worker-count-independent results.
+
+This module deliberately avoids importing :mod:`repro.seal.dataset`
+(which imports :mod:`repro.data`); it only needs the duck-typed task
+fields listed in :func:`build_packed_sample`.
+"""
+
+from __future__ import annotations
+
+from repro.data.store import PackedSubgraph
+from repro.graph.subgraph import extract_enclosing_subgraph
+from repro.seal.features import build_node_features
+from repro.utils.rng import RngLike, derive
+
+__all__ = ["build_packed_sample"]
+
+
+def build_packed_sample(task, seed: RngLike, index: int) -> PackedSubgraph:
+    """Extract link ``index`` of ``task`` into a :class:`PackedSubgraph`.
+
+    ``task`` is any object with the :class:`repro.seal.LinkTask` fields
+    ``graph``, ``pairs``, ``name``, ``num_hops``, ``subgraph_mode``,
+    ``max_subgraph_nodes`` and ``feature_config``.
+    """
+    u, v = task.pairs[index]
+    sub = extract_enclosing_subgraph(
+        task.graph,
+        int(u),
+        int(v),
+        k=task.num_hops,
+        mode=task.subgraph_mode,
+        max_nodes=task.max_subgraph_nodes,
+        rng=derive(seed, "seal-extract", task.name, str(int(index))),
+    )
+    feats = build_node_features(sub, task.feature_config)
+    g = sub.graph
+    return PackedSubgraph(
+        index=int(index),
+        num_nodes=g.num_nodes,
+        num_edges=g.num_edges,
+        edge_index=g.edge_index,
+        features=feats,
+        node_type=g.node_type,
+        edge_type=g.edge_type,
+        edge_attr=g.edge_attr,
+        node_features=g.node_features,
+    )

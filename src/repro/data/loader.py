@@ -1,0 +1,341 @@
+"""Batch-serving DataLoader with optional multiprocessing extraction.
+
+The loader owns the full data path of the SEAL pipeline: a
+:class:`~repro.data.samplers.Sampler` decides the index batches, missing
+subgraphs are extracted (serially, or by a worker pool when
+``num_workers > 0``) into the dataset's packed
+:class:`~repro.data.store.SubgraphStore`, and collation slices the store
+directly into preallocated :class:`~repro.graph.batch.GraphBatch`
+arrays.
+
+Determinism guarantee
+---------------------
+Extraction is keyed by ``(dataset seed, link index)`` — see
+:mod:`repro.data.extraction` — and collation always happens in the
+parent process in sampler order, so ``num_workers=N`` produces streams
+bit-identical to ``num_workers=0`` under the same seed. Workers only
+change *when* a subgraph is computed, never *what* it contains.
+
+Parallel mode dispatches chunks of missing links to a persistent
+``multiprocessing`` pool in first-need order, keeps at most
+``num_workers * prefetch_factor`` chunks in flight (a bounded prefetch
+queue), and falls back to serial extraction — with a warning, never an
+error — when the platform cannot start workers or a worker crashes.
+
+Loader phases are traced through :mod:`repro.obs` as ``extraction``
+(serial misses), ``queue-wait`` (parent blocked on worker results) and
+``collate``, which is what ``python -m repro profile --workers N``
+reports as the loader breakdown.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.data.samplers import Sampler, SequentialSampler, ShuffleSampler
+from repro.data.store import PackedSubgraph, SubgraphStore
+from repro.graph.batch import GraphBatch
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngLike
+
+__all__ = ["DataLoader", "collate_from_store", "warm"]
+
+logger = get_logger("data.loader")
+
+# -- worker-side plumbing ---------------------------------------------- #
+# The pool initializer stashes the (task, seed) payload in a module
+# global; with the default fork start method this is nearly free, and
+# with spawn the payload is pickled once per worker instead of per chunk.
+
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _worker_init(payload: tuple) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = payload
+
+
+def _worker_extract(chunk: List[int]) -> List[PackedSubgraph]:
+    """Extract a chunk of links inside a worker process."""
+    from repro.data.extraction import build_packed_sample
+
+    task, seed = _WORKER_STATE
+    return [build_packed_sample(task, seed, i) for i in chunk]
+
+
+def collate_from_store(
+    store: SubgraphStore, indices: Sequence[int], *, edge_attr_dim: int = 0
+) -> GraphBatch:
+    """Fuse stored subgraphs into one block-diagonal batch by slice-copy.
+
+    Equivalent to :func:`repro.graph.batch.collate` over the materialized
+    graphs, but reads the packed arrays directly: output buffers are
+    preallocated once and filled per graph with O(1)-lookup slices.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size == 0:
+        raise ValueError("cannot collate an empty batch")
+    if edge_attr_dim and store.edge_attr_dim and store.edge_attr_dim != edge_attr_dim:
+        raise ValueError(
+            f"stored edge_attr width {store.edge_attr_dim} != requested {edge_attr_dim}"
+        )
+    with obs.trace("collate"):
+        n_counts = store.node_count[indices]
+        e_counts = store.edge_count[indices]
+        n_total = int(n_counts.sum())
+        e_total = int(e_counts.sum())
+        node_off = np.concatenate([[0], np.cumsum(n_counts)[:-1]])
+
+        edge_index = np.empty((2, e_total), dtype=np.int64)
+        node_features = np.empty((n_total, store.feature_dim), dtype=np.float64)
+        edge_attr = np.zeros((e_total, edge_attr_dim), dtype=np.float64)
+        batch = np.repeat(np.arange(len(indices), dtype=np.int64), n_counts)
+
+        copy_attr = bool(edge_attr_dim and store.edge_attr is not None)
+        no = 0
+        eo = 0
+        for j, i in enumerate(indices):
+            ns, nc = int(store.node_start[i]), int(n_counts[j])
+            es, ec = int(store.edge_start[i]), int(e_counts[j])
+            edge_index[:, eo : eo + ec] = store.edge_index[:, es : es + ec] + node_off[j]
+            node_features[no : no + nc] = store.features[ns : ns + nc]
+            if copy_attr:
+                edge_attr[eo : eo + ec] = store.edge_attr[es : es + ec]
+            no += nc
+            eo += ec
+
+        out = GraphBatch(
+            edge_index=edge_index,
+            node_features=node_features,
+            edge_attr=edge_attr,
+            batch=batch,
+            num_graphs=len(indices),
+        )
+    obs.count("graph.collate.batches")
+    obs.count("graph.collate.graphs", float(out.num_graphs))
+    obs.count("graph.collate.nodes", float(out.num_nodes))
+    return out
+
+
+class DataLoader:
+    """Serve ``(GraphBatch, labels)`` mini-batches from a SEAL dataset.
+
+    Parameters
+    ----------
+    dataset: a :class:`~repro.seal.SEALDataset` (or any object exposing
+        ``task``, ``store``, ``rng_seed``, ``ensure(i)`` and
+        ``adopt(sample)``).
+    indices: link indices to serve (default: the whole dataset). Ignored
+        when an explicit ``sampler`` is given.
+    batch_size: target batch size (ignored when ``sampler`` is given).
+    sampler: explicit :class:`~repro.data.samplers.Sampler`; overrides
+        ``indices``/``batch_size``/``shuffle``/``rng``.
+    shuffle: build a :class:`ShuffleSampler` instead of sequential.
+    rng: seed/stream for the shuffle sampler.
+    num_workers: 0 = extract in-process; N > 0 = extract cache misses in
+        an N-process pool with chunked dispatch and bounded prefetch.
+    prefetch_factor: chunks kept in flight per worker.
+    chunk_size: links per worker chunk (default: an even split that keeps
+        every worker busy ``2 * prefetch_factor`` times over).
+    """
+
+    def __init__(
+        self,
+        dataset,
+        indices: Optional[Sequence[int]] = None,
+        batch_size: int = 32,
+        *,
+        sampler: Optional[Sampler] = None,
+        shuffle: bool = False,
+        rng: RngLike = None,
+        num_workers: int = 0,
+        prefetch_factor: int = 2,
+        chunk_size: Optional[int] = None,
+    ):
+        if num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        if prefetch_factor < 1:
+            raise ValueError("prefetch_factor must be >= 1")
+        self.dataset = dataset
+        if sampler is None:
+            idx = np.arange(len(dataset)) if indices is None else indices
+            if shuffle:
+                sampler = ShuffleSampler(idx, batch_size, rng=rng)
+            else:
+                sampler = SequentialSampler(idx, batch_size)
+        self.sampler = sampler
+        self.num_workers = int(num_workers)
+        self.prefetch_factor = int(prefetch_factor)
+        self.chunk_size = chunk_size
+        self._pool = None
+        self._pool_broken = False
+
+    # ------------------------------------------------------------------ #
+    # sizing / context management
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.sampler)
+
+    def __enter__(self) -> "DataLoader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; serial loaders: no-op)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # iteration
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Tuple[GraphBatch, np.ndarray]]:
+        task = self.dataset.task
+        for batch_idx in self._filled_batches(list(self.sampler)):
+            yield (
+                collate_from_store(
+                    self.dataset.store, batch_idx, edge_attr_dim=task.edge_attr_dim
+                ),
+                task.labels[batch_idx],
+            )
+
+    def warm(self, indices: Optional[Sequence[int]] = None) -> "DataLoader":
+        """Eagerly extract ``indices`` (default: the sampler's index set).
+
+        Uses a sequential pass independent of the sampler, so warming a
+        shuffle loader does not consume its permutation stream. Parallel
+        loaders warm with the worker pool — the replacement for the
+        deprecated ``SEALDataset.prepare()`` that scales with cores.
+        """
+        order = np.asarray(
+            self.sampler.indices if indices is None else indices, dtype=np.int64
+        )
+        chunk = max(int(getattr(self.sampler, "batch_size", 64)), 1)
+        batches = [order[s : s + chunk] for s in range(0, len(order), chunk)]
+        for _ in self._filled_batches(batches):
+            pass
+        return self
+
+    # ------------------------------------------------------------------ #
+    # extraction scheduling
+    # ------------------------------------------------------------------ #
+    def _filled_batches(self, batches: List[np.ndarray]) -> Iterator[np.ndarray]:
+        """Yield each index batch once every one of its links is stored."""
+        if self.num_workers > 0 and not self._pool_broken:
+            yield from self._fill_parallel(batches)
+        else:
+            yield from self._fill_serial(batches)
+
+    def _fill_serial(self, batches: List[np.ndarray]) -> Iterator[np.ndarray]:
+        ensure = self.dataset.ensure
+        for batch_idx in batches:
+            for i in batch_idx:
+                ensure(int(i))
+            yield batch_idx
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing as mp
+
+            ctx = mp.get_context()
+            payload = (self.dataset.task, self.dataset.rng_seed)
+            self._pool = ctx.Pool(
+                self.num_workers, initializer=_worker_init, initargs=(payload,)
+            )
+        return self._pool
+
+    def _fill_parallel(self, batches: List[np.ndarray]) -> Iterator[np.ndarray]:
+        store = self.dataset.store
+        missing = store.missing(np.concatenate(batches)) if batches else np.empty(0, np.int64)
+        if missing.size == 0:
+            yield from self._fill_serial(batches)
+            return
+        try:
+            pool = self._ensure_pool()
+        except Exception as exc:  # pragma: no cover - platform dependent
+            logger.warning("worker pool unavailable (%s); extracting serially", exc)
+            self._mark_broken()
+            yield from self._fill_serial(batches)
+            return
+
+        chunk = self.chunk_size or max(
+            1, -(-len(missing) // (self.num_workers * self.prefetch_factor * 2))
+        )
+        chunks = deque(
+            missing[s : s + chunk].tolist() for s in range(0, len(missing), chunk)
+        )
+        obs.count("data.loader.parallel_links", float(len(missing)))
+        pending: deque = deque()
+        max_inflight = self.num_workers * self.prefetch_factor
+        fresh = set(missing.tolist())
+
+        def pump() -> None:
+            while chunks and len(pending) < max_inflight:
+                pending.append(pool.apply_async(_worker_extract, (chunks.popleft(),)))
+
+        pump()
+        for batch_idx in batches:
+            needed = [int(i) for i in batch_idx]
+            # Once broken, never consult `pending` again — results of a
+            # terminated pool may never resolve and get() would block.
+            while not self._pool_broken and any(i not in store for i in needed):
+                if not pending:
+                    # Dispatch exhausted but links still missing (worker
+                    # failure path) — finish this epoch serially.
+                    self._mark_broken()
+                    break
+                result = pending.popleft()
+                try:
+                    with obs.trace("queue-wait"):
+                        samples = result.get()
+                except Exception as exc:
+                    logger.warning(
+                        "extraction worker failed (%s); falling back to serial", exc
+                    )
+                    self._mark_broken()
+                    break
+                for sample in samples:
+                    self.dataset.adopt(sample)
+                pump()
+            if self._pool_broken:
+                for i in needed:
+                    fresh.discard(i)
+                    self.dataset.ensure(i)
+            else:
+                for i in needed:
+                    # First access of a worker-extracted link was already
+                    # counted as a miss by adopt(); later accesses are hits.
+                    if i in fresh:
+                        fresh.discard(i)
+                    else:
+                        self.dataset.ensure(i)
+            yield batch_idx
+
+    def _mark_broken(self) -> None:
+        self._pool_broken = True
+        self.close()
+
+
+def warm(dataset, *, num_workers: int = 0, prefetch_factor: int = 2) -> None:
+    """Eagerly extract every link of ``dataset`` into its store.
+
+    The drop-in replacement for the deprecated ``SEALDataset.prepare()``;
+    with ``num_workers > 0`` the extraction fans out over a worker pool.
+    """
+    with DataLoader(
+        dataset, num_workers=num_workers, prefetch_factor=prefetch_factor, batch_size=64
+    ) as loader:
+        loader.warm()

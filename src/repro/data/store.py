@@ -1,0 +1,236 @@
+"""Packed columnar storage of extracted SEAL subgraphs.
+
+:class:`SubgraphStore` replaces the per-link ``(Graph, features)`` object
+cache with CSR-style contiguous arrays: node-axis data (features, node
+types, explicit node features) and edge-axis data (edge index, edge
+types, edge attributes) of *all* cached subgraphs live in a handful of
+large NumPy buffers, and each link owns a ``(start, count)`` slice into
+them. This cuts the per-subgraph Python object overhead (one tiny
+``Graph`` plus several small arrays per link) to a few int64 entries and
+makes batch collation a pure slice-copy, no object traversal.
+
+Links may be inserted in any order — the offset tables are keyed by link
+index, so lazily extracted datasets and parallel workers can fill the
+store out of order. Buffers grow by doubling; previously returned views
+stay valid (they alias the old buffer, whose contents are immutable by
+convention).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["PackedSubgraph", "StoreInfo", "SubgraphStore"]
+
+
+class PackedSubgraph(NamedTuple):
+    """One link's subgraph as flat arrays (views into the store's buffers).
+
+    ``edge_index`` uses subgraph-local node ids (targets are 0 and 1, the
+    :mod:`repro.graph.subgraph` convention). ``edge_attr`` and
+    ``node_features`` are ``None`` when the source graph carries none.
+    """
+
+    index: int
+    num_nodes: int
+    num_edges: int
+    edge_index: np.ndarray
+    features: np.ndarray
+    node_type: np.ndarray
+    edge_type: np.ndarray
+    edge_attr: Optional[np.ndarray]
+    node_features: Optional[np.ndarray]
+
+
+class StoreInfo(NamedTuple):
+    """Occupancy and memory report of one :class:`SubgraphStore`."""
+
+    entries: int  # links currently stored
+    capacity: int  # total links the store indexes
+    nodes: int  # node rows in use across all stored subgraphs
+    edges: int  # edge columns in use
+    nbytes: int  # bytes allocated across every backing buffer
+
+
+class SubgraphStore:
+    """Append-only packed cache of per-link subgraphs.
+
+    Parameters
+    ----------
+    capacity: number of links the store indexes (``task.num_links``).
+    feature_dim: width of the SEAL node-attribute matrices.
+    edge_attr_dim: width of stored edge attributes (0 = source graph has
+        none; zero-fill happens at collate time, not here).
+    node_feature_dim: width of explicit node features carried by the
+        source graph (0 = none).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        feature_dim: int,
+        *,
+        edge_attr_dim: int = 0,
+        node_feature_dim: int = 0,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        self.capacity = int(capacity)
+        self.feature_dim = int(feature_dim)
+        self.edge_attr_dim = int(edge_attr_dim)
+        self.node_feature_dim = int(node_feature_dim)
+        self._init_buffers()
+
+    def _init_buffers(self) -> None:
+        cap = self.capacity
+        self.node_start = np.full(cap, -1, dtype=np.int64)
+        self.node_count = np.zeros(cap, dtype=np.int64)
+        self.edge_start = np.full(cap, -1, dtype=np.int64)
+        self.edge_count = np.zeros(cap, dtype=np.int64)
+        n0, e0 = 256, 512
+        self.features = np.empty((n0, self.feature_dim), dtype=np.float64)
+        self.node_type = np.empty(n0, dtype=np.int64)
+        self.node_features = (
+            np.empty((n0, self.node_feature_dim), dtype=np.float64)
+            if self.node_feature_dim
+            else None
+        )
+        self.edge_index = np.empty((2, e0), dtype=np.int64)
+        self.edge_type = np.empty(e0, dtype=np.int64)
+        self.edge_attr = (
+            np.empty((e0, self.edge_attr_dim), dtype=np.float64)
+            if self.edge_attr_dim
+            else None
+        )
+        self._node_tail = 0
+        self._edge_tail = 0
+        self._entries = 0
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._entries
+
+    def __contains__(self, index: int) -> bool:
+        return 0 <= index < self.capacity and self.node_start[index] >= 0
+
+    def missing(self, indices: Sequence[int]) -> np.ndarray:
+        """Subset of ``indices`` not yet stored (order preserved, deduped)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        absent = indices[self.node_start[indices] < 0]
+        _, first = np.unique(absent, return_index=True)
+        return absent[np.sort(first)]
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def _grow_nodes(self, extra: int) -> None:
+        need = self._node_tail + extra
+        cap = self.features.shape[0]
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap)
+        self.features = np.resize(self.features, (new_cap, self.feature_dim))
+        self.node_type = np.resize(self.node_type, new_cap)
+        if self.node_features is not None:
+            self.node_features = np.resize(self.node_features, (new_cap, self.node_feature_dim))
+
+    def _grow_edges(self, extra: int) -> None:
+        need = self._edge_tail + extra
+        cap = self.edge_index.shape[1]
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap)
+        ei = np.empty((2, new_cap), dtype=np.int64)
+        ei[:, : self._edge_tail] = self.edge_index[:, : self._edge_tail]
+        self.edge_index = ei
+        self.edge_type = np.resize(self.edge_type, new_cap)
+        if self.edge_attr is not None:
+            self.edge_attr = np.resize(self.edge_attr, (new_cap, self.edge_attr_dim))
+
+    def put(self, sample: PackedSubgraph) -> None:
+        """Insert one link's packed subgraph (no-op if already present)."""
+        i = sample.index
+        if not 0 <= i < self.capacity:
+            raise IndexError(f"link index {i} outside store capacity {self.capacity}")
+        if i in self:
+            return
+        n, e = sample.num_nodes, sample.num_edges
+        if sample.features.shape != (n, self.feature_dim):
+            raise ValueError(
+                f"feature matrix shape {sample.features.shape} != ({n}, {self.feature_dim})"
+            )
+        if self.edge_attr_dim and sample.edge_attr is None:
+            raise ValueError("store expects edge attributes but sample has none")
+        self._grow_nodes(n)
+        self._grow_edges(e)
+        ns, es = self._node_tail, self._edge_tail
+        self.features[ns : ns + n] = sample.features
+        self.node_type[ns : ns + n] = sample.node_type
+        if self.node_features is not None:
+            self.node_features[ns : ns + n] = sample.node_features
+        self.edge_index[:, es : es + e] = sample.edge_index
+        self.edge_type[es : es + e] = sample.edge_type
+        if self.edge_attr is not None:
+            self.edge_attr[es : es + e] = sample.edge_attr
+        self.node_start[i] = ns
+        self.node_count[i] = n
+        self.edge_start[i] = es
+        self.edge_count[i] = e
+        self._node_tail += n
+        self._edge_tail += e
+        self._entries += 1
+
+    def clear(self) -> None:
+        """Drop every stored subgraph and release the data buffers."""
+        self._init_buffers()
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def get(self, index: int) -> PackedSubgraph:
+        """O(1) packed view of link ``index`` (raises ``KeyError`` if absent)."""
+        if index not in self:
+            raise KeyError(f"link {index} not in store")
+        ns, n = int(self.node_start[index]), int(self.node_count[index])
+        es, e = int(self.edge_start[index]), int(self.edge_count[index])
+        return PackedSubgraph(
+            index=int(index),
+            num_nodes=n,
+            num_edges=e,
+            edge_index=self.edge_index[:, es : es + e],
+            features=self.features[ns : ns + n],
+            node_type=self.node_type[ns : ns + n],
+            edge_type=self.edge_type[es : es + e],
+            edge_attr=None if self.edge_attr is None else self.edge_attr[es : es + e],
+            node_features=(
+                None if self.node_features is None else self.node_features[ns : ns + n]
+            ),
+        )
+
+    def cache_info(self) -> StoreInfo:
+        """Occupancy plus the bytes allocated across every backing buffer."""
+        nbytes = (
+            self.node_start.nbytes
+            + self.node_count.nbytes
+            + self.edge_start.nbytes
+            + self.edge_count.nbytes
+            + self.features.nbytes
+            + self.node_type.nbytes
+            + self.edge_index.nbytes
+            + self.edge_type.nbytes
+            + (0 if self.edge_attr is None else self.edge_attr.nbytes)
+            + (0 if self.node_features is None else self.node_features.nbytes)
+        )
+        return StoreInfo(
+            entries=self._entries,
+            capacity=self.capacity,
+            nodes=self._node_tail,
+            edges=self._edge_tail,
+            nbytes=int(nbytes),
+        )

@@ -14,6 +14,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.data import warm
 from repro.datasets import load_cora_like, load_primekg_like, load_wordnet_like
 from repro.experiments.config import DEFAULT_HPARAMS, build_model, train_config_for
 from repro.models import AMDGCNN
@@ -37,7 +38,7 @@ __all__ = [
 def _fit_am(task, epochs=8, **model_overrides) -> Dict[str, float]:
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
-    ds.prepare()
+    warm(ds)
     if model_overrides:
         model = AMDGCNN(
             ds.feature_width,

@@ -8,11 +8,13 @@ with per-epoch evaluation, and result bundling.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.data.loader import warm
 from repro.datasets.registry import load_dataset
 from repro.experiments.config import (
     ModelHyperparams,
@@ -68,14 +70,24 @@ class ExperimentRunner:
     seed: master seed — datasets, splits, model init and shuffling all
         derive their streams from it.
     test_fraction: held-out fraction (stratified by class).
+    num_workers: extraction worker processes for dataset warming and
+        every training/evaluation loader (0 = serial; results are
+        identical either way).
     """
 
-    def __init__(self, scale: float = 0.5, seed: int = 0, test_fraction: float = 0.25):
+    def __init__(
+        self,
+        scale: float = 0.5,
+        seed: int = 0,
+        test_fraction: float = 0.25,
+        num_workers: int = 0,
+    ):
         if not 0 < test_fraction < 1:
             raise ValueError("test_fraction must be in (0, 1)")
         self.scale = scale
         self.seed = seed
         self.test_fraction = test_fraction
+        self.num_workers = num_workers
         self._bundles: Dict[Tuple[str, float], _DatasetBundle] = {}
 
     def bundle(self, dataset_name: str, num_targets: Optional[int] = None) -> _DatasetBundle:
@@ -99,7 +111,7 @@ class ExperimentRunner:
                 len(tr),
                 len(te),
             )
-            ds.prepare()
+            warm(ds, num_workers=self.num_workers)
             self._bundles[key] = _DatasetBundle(ds, tr, te)
         return self._bundles[key]
 
@@ -137,15 +149,18 @@ class ExperimentRunner:
             hparams,
             rng=derive(self.seed, "init", dataset_name, model_name),
         )
+        config = dataclasses.replace(
+            train_config_for(hparams, epochs), num_workers=self.num_workers
+        )
         history = train(
             model,
             b.dataset,
             tr,
-            train_config_for(hparams, epochs),
+            config,
             eval_indices=b.test_idx if eval_each_epoch else None,
             rng=derive(self.seed, "train", dataset_name, model_name),
         )
-        final = evaluate(model, b.dataset, b.test_idx)
+        final = evaluate(model, b.dataset, b.test_idx, num_workers=self.num_workers)
         return RunResult(
             dataset=dataset_name,
             model=model_name,

@@ -11,7 +11,7 @@ and per-graph Python dispatch would dominate runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -93,39 +93,40 @@ def _collate(
     if len(feat_dims) != 1:
         raise ValueError(f"inconsistent node feature widths: {sorted(feat_dims)}")
 
-    ei_parts: List[np.ndarray] = []
-    ea_parts: List[np.ndarray] = []
-    batch_parts: List[np.ndarray] = []
-    offset = 0
+    node_counts = np.array([g.num_nodes for g in graphs], dtype=np.int64)
+    edge_counts = np.array([g.num_edges for g in graphs], dtype=np.int64)
+    n_total = int(node_counts.sum())
+    e_total = int(edge_counts.sum())
+
+    # Preallocate every output once and fill per-graph slices: concatenating
+    # dozens of tiny arrays per batch used to dominate collation time.
+    edge_index = np.empty((2, e_total), dtype=np.int64)
+    node_features = np.empty((n_total, feat_dims.pop()), dtype=np.float64)
+    edge_attr = np.zeros((e_total, edge_attr_dim), dtype=np.float64)
+    batch = np.repeat(np.arange(len(graphs), dtype=np.int64), node_counts)
+
+    node_offset = 0
+    edge_offset = 0
     for gi, g in enumerate(graphs):
         if node_feature_matrices[gi].shape[0] != g.num_nodes:
             raise ValueError(f"feature matrix {gi} rows != graph {gi} nodes")
-        ei_parts.append(g.edge_index + offset)
-        if edge_attr_dim:
-            if g.edge_attr is not None:
-                if g.edge_attr.shape[1] != edge_attr_dim:
-                    raise ValueError(
-                        f"graph {gi} edge_attr width {g.edge_attr.shape[1]} != {edge_attr_dim}"
-                    )
-                ea_parts.append(g.edge_attr)
-            else:
-                ea_parts.append(np.zeros((g.num_edges, edge_attr_dim)))
-        batch_parts.append(np.full(g.num_nodes, gi, dtype=np.int64))
-        offset += g.num_nodes
+        ne = g.num_edges
+        edge_index[:, edge_offset : edge_offset + ne] = g.edge_index + node_offset
+        node_features[node_offset : node_offset + g.num_nodes] = node_feature_matrices[gi]
+        if edge_attr_dim and g.edge_attr is not None:
+            if g.edge_attr.shape[1] != edge_attr_dim:
+                raise ValueError(
+                    f"graph {gi} edge_attr width {g.edge_attr.shape[1]} != {edge_attr_dim}"
+                )
+            edge_attr[edge_offset : edge_offset + ne] = g.edge_attr
+        node_offset += g.num_nodes
+        edge_offset += ne
 
-    edge_index = (
-        np.concatenate(ei_parts, axis=1) if ei_parts else np.empty((2, 0), dtype=np.int64)
-    )
-    edge_attr = (
-        np.concatenate(ea_parts, axis=0)
-        if edge_attr_dim
-        else np.zeros((edge_index.shape[1], 0))
-    )
     out = GraphBatch(
         edge_index=edge_index,
-        node_features=np.concatenate(node_feature_matrices, axis=0),
+        node_features=node_features,
         edge_attr=edge_attr,
-        batch=np.concatenate(batch_parts),
+        batch=batch,
         num_graphs=len(graphs),
     )
     obs.count("graph.collate.batches")

@@ -8,13 +8,17 @@ extraction → training with per-epoch evaluation → inference) under
 
     python -m repro profile --smoke            # CI-sized, ~seconds
     python -m repro profile --dataset wordnet --scale 0.3 --epochs 4
+    python -m repro profile --smoke --workers 2   # parallel extraction
     python -m repro profile --smoke --csv out.csv --json out.json
 
 The JSON report's ``phases`` section is the per-leaf breakdown
 (``extraction`` / ``collate`` / ``forward`` / ``backward`` /
 ``optimizer`` / ``eval`` / ``inference``), aggregated across nesting;
-``cache`` is the :meth:`SEALDataset.cache_info` view proving the second
-epoch onward is extraction-free.
+``loader`` isolates the data-loading phases (``extraction`` /
+``collate`` / ``queue-wait`` — the last one is the parent blocking on
+worker results when ``--workers N`` is set); ``cache`` is the
+:meth:`SEALDataset.cache_info` view proving the second epoch onward is
+extraction-free.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ def run_profile(
     batch_size: int = 16,
     hidden_dim: int = 16,
     seed: int = 0,
+    num_workers: int = 0,
 ) -> Dict[str, Any]:
     """Run the instrumented workload; return the JSON-ready report dict."""
     # Imports are deferred so ``import repro.obs`` stays lightweight.
@@ -79,12 +84,17 @@ def run_profile(
             model,
             ds,
             tr,
-            TrainConfig(epochs=epochs, batch_size=batch_size, lr=3e-3),
+            TrainConfig(
+                epochs=epochs,
+                batch_size=batch_size,
+                lr=3e-3,
+                num_workers=num_workers,
+            ),
             eval_indices=te,
             rng=derive(seed, "train"),
             verbose=False,
         )
-        eval_result = evaluate(model, ds, te)
+        eval_result = evaluate(model, ds, te, num_workers=num_workers)
         # A taste of the deployment path: classify a handful of pairs.
         classify_pairs(
             model,
@@ -109,6 +119,7 @@ def run_profile(
             "epochs": epochs,
             "batch_size": batch_size,
             "seed": seed,
+            "num_workers": num_workers,
             "num_links": int(task.num_links),
             "num_nodes": int(task.graph.num_nodes),
         },
@@ -123,6 +134,10 @@ def run_profile(
             "final_auc": train_result.final_auc,
         },
         "eval": eval_result.summary(),
+        "loader": {
+            name: {"seconds": leaf_totals.get(name, 0.0), "calls": leaf_counts.get(name, 0)}
+            for name in ("extraction", "collate", "queue-wait")
+        },
         "cache": cache._asdict(),
         "counters": dict(registry.counters),
         "snapshot": registry.snapshot(),
@@ -142,6 +157,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--batch-size", type=int, default=16, help="training batch size")
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="extraction worker processes (0 = serial; results are identical)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="CI-sized run (tiny dataset, one epoch); overrides the size flags",
@@ -159,6 +180,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         epochs=args.epochs,
         batch_size=args.batch_size,
         seed=args.seed,
+        num_workers=args.workers,
     )
     if args.smoke:
         kwargs.update(scale=0.12, num_targets=40, epochs=1, batch_size=8)

@@ -90,7 +90,7 @@ def cross_validate(
         t_fold = time.perf_counter()
         with obs.trace("cv-fold"):
             train(model, dataset, train_idx, config, rng=derive(rng, "cv-train", str(fold)))
-            fold_eval = evaluate(model, dataset, test_idx)
+            fold_eval = evaluate(model, dataset, test_idx, num_workers=config.num_workers)
         elapsed = time.perf_counter() - t_fold
         obs.observe("cv.fold_seconds", elapsed)
         logger.info("fold %d auc=%.4f ap=%.4f (%.2fs)", fold, fold_eval.auc, fold_eval.ap, elapsed)

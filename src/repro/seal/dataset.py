@@ -1,29 +1,33 @@
-"""Link-classification tasks and the SEAL per-link subgraph pipeline.
+"""Link-classification tasks and the SEAL per-link sample cache.
 
 A :class:`LinkTask` bundles a knowledge graph with the labeled node pairs
 to classify. :class:`SEALDataset` materializes, for every pair, the
 k-hop enclosing subgraph (target link removed) and its node attribute
-matrix, and serves shuffled mini-batches as block-diagonal
-:class:`~repro.graph.batch.GraphBatch` objects.
+matrix, caching the results in a packed
+:class:`~repro.data.store.SubgraphStore`.
 
-Extraction is the dominant preprocessing cost (two BFS per link), so
-subgraphs are cached after the first build; ``prepare()`` prebuilds
-everything eagerly for benchmarks that should time training alone.
+Batch serving lives in :mod:`repro.data`: a
+:class:`~repro.data.DataLoader` drives extraction (optionally across a
+worker pool) and collates store slices into
+:class:`~repro.graph.batch.GraphBatch` objects. The old
+``iter_batches``/``prepare`` methods remain as deprecated shims over
+that layer.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import obs
-from repro.graph.batch import GraphBatch, collate
+from repro.data.store import PackedSubgraph, SubgraphStore
+from repro.graph.batch import GraphBatch
 from repro.graph.structure import Graph
-from repro.graph.subgraph import EnclosingSubgraph, extract_enclosing_subgraph
-from repro.seal.features import FeatureConfig, build_node_features
-from repro.utils.rng import RngLike, derive, ensure_rng
+from repro.seal.features import FeatureConfig
+from repro.utils.rng import RngLike, ensure_rng
 
 __all__ = [
     "LinkTask",
@@ -49,34 +53,57 @@ def sample_negative_pairs(
     distinct, exclude self-pairs, existing arcs, and anything listed in
     ``exclude`` (an ``(M, 2)`` array, any orientation).
 
+    The banned set is a sorted array of ``u * N + v`` codes built with
+    vectorized NumPy (no Python loop over arcs), and candidates are drawn
+    in batches — O(E) Python-object work per call used to dominate this
+    function on large graphs.
+
     Raises ``RuntimeError`` when the graph is too dense to find enough
     negatives within ``max_attempts_factor * num_pairs`` draws.
     """
     if num_pairs < 0:
         raise ValueError("num_pairs must be non-negative")
     gen = ensure_rng(rng)
-    banned = set()
+    n = graph.num_nodes
     src, dst = graph.edge_index
-    for a, b in zip(src.tolist(), dst.tolist()):
-        banned.add((min(a, b), max(a, b)))
+    banned = np.minimum(src, dst).astype(np.int64) * n + np.maximum(src, dst)
     if exclude is not None:
-        for a, b in np.asarray(exclude, dtype=np.int64):
-            banned.add((min(int(a), int(b)), max(int(a), int(b))))
-    out = []
+        ex = np.asarray(exclude, dtype=np.int64).reshape(-1, 2)
+        banned = np.concatenate(
+            [banned, np.minimum(ex[:, 0], ex[:, 1]) * n + np.maximum(ex[:, 0], ex[:, 1])]
+        )
+    banned = np.unique(banned)
+
+    out: List[int] = []
     seen = set()
     attempts = 0
     limit = max_attempts_factor * max(num_pairs, 1)
     while len(out) < num_pairs:
-        attempts += 1
-        if attempts > limit:
+        if attempts >= limit:
             raise RuntimeError("could not sample enough negative pairs")
-        u, v = gen.integers(0, graph.num_nodes, size=2)
-        key = (min(int(u), int(v)), max(int(u), int(v)))
-        if u == v or key in banned or key in seen:
-            continue
-        seen.add(key)
-        out.append(key)
-    return np.array(out, dtype=np.int64).reshape(num_pairs, 2)
+        draw = min(limit - attempts, max(32, 2 * (num_pairs - len(out))))
+        attempts += draw
+        cand = gen.integers(0, n, size=(draw, 2))
+        lo = np.minimum(cand[:, 0], cand[:, 1])
+        hi = np.maximum(cand[:, 0], cand[:, 1])
+        keys = lo * n + hi
+        ok = lo != hi
+        if banned.size:
+            pos = np.searchsorted(banned, keys)
+            pos = np.minimum(pos, banned.size - 1)
+            ok &= banned[pos] != keys
+        for key in keys[ok].tolist():
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(key)
+            if len(out) == num_pairs:
+                break
+    codes = np.asarray(out, dtype=np.int64)
+    result = np.empty((num_pairs, 2), dtype=np.int64)
+    result[:, 0] = codes // n if num_pairs else 0
+    result[:, 1] = codes % n if num_pairs else 0
+    return result
 
 
 @dataclass
@@ -182,18 +209,23 @@ class SEALDataset:
     """Materialized SEAL samples (subgraph + features) for a LinkTask.
 
     Each link's extraction stream is derived from the dataset seed *and
-    the link index*, so the cached subgraph of link ``i`` is identical
-    no matter in which order links are first visited. (Previously a
-    single shared generator made lazily-extracted subgraphs depend on
-    visitation order — ``iter_batches(shuffle=True)`` with a fresh rng
-    each epoch silently produced different subgraphs than ``prepare()``
-    would have.)
+    the link index* (see :mod:`repro.data.extraction`), so the cached
+    subgraph of link ``i`` is identical no matter in which order — or in
+    which process — links are first built. Extracted samples live in a
+    packed :class:`~repro.data.store.SubgraphStore` (``.store``); its
+    ``cache_info()`` reports the memory footprint.
     """
 
     def __init__(self, task: LinkTask, *, rng: RngLike = None):
         self.task = task
         self._rng_seed: RngLike = rng if rng is not None else 0
-        self._cache: List[Optional[Tuple[Graph, np.ndarray]]] = [None] * task.num_links
+        g = task.graph
+        self.store = SubgraphStore(
+            task.num_links,
+            task.feature_config.width,
+            edge_attr_dim=0 if g.edge_attr is None else g.edge_attr.shape[1],
+            node_feature_dim=0 if g.node_features is None else g.node_features.shape[1],
+        )
         self._hits = 0
         self._misses = 0
 
@@ -204,60 +236,102 @@ class SEALDataset:
     def feature_width(self) -> int:
         return self.task.feature_config.width
 
-    def extract(self, i: int) -> Tuple[Graph, np.ndarray]:
-        """Subgraph and node-feature matrix of link ``i`` (cached)."""
-        cached = self._cache[i]
-        if cached is not None:
+    @property
+    def rng_seed(self) -> RngLike:
+        """Seed material of the per-link extraction streams."""
+        return self._rng_seed
+
+    # ------------------------------------------------------------------ #
+    # extraction into the store
+    # ------------------------------------------------------------------ #
+    def ensure(self, i: int) -> None:
+        """Make sure link ``i`` is in the store (extracting on a miss)."""
+        if i in self.store:
             self._hits += 1
             obs.count("seal.cache.hits")
-            return cached
+            return
+        from repro.data.extraction import build_packed_sample
+
         self._misses += 1
         obs.count("seal.cache.misses")
-        u, v = self.task.pairs[i]
         with obs.trace("extraction"):
-            sub: EnclosingSubgraph = extract_enclosing_subgraph(
-                self.task.graph,
-                int(u),
-                int(v),
-                k=self.task.num_hops,
-                mode=self.task.subgraph_mode,
-                max_nodes=self.task.max_subgraph_nodes,
-                rng=derive(self._rng_seed, "seal-extract", self.task.name, str(int(i))),
-            )
-            feats = build_node_features(sub, self.task.feature_config)
-        self._cache[i] = (sub.graph, feats)
-        return self._cache[i]
+            sample = build_packed_sample(self.task, self._rng_seed, i)
+        self.store.put(sample)
+
+    def adopt(self, sample: PackedSubgraph) -> None:
+        """Insert an externally extracted sample (counts as a cache miss).
+
+        The :class:`~repro.data.DataLoader` calls this for subgraphs its
+        worker pool built; a sample already present is discarded.
+        """
+        if sample.index in self.store:
+            return
+        self._misses += 1
+        obs.count("seal.cache.misses")
+        self.store.put(sample)
+
+    def extract(self, i: int) -> Tuple[Graph, np.ndarray]:
+        """Subgraph and node-feature matrix of link ``i`` (cached).
+
+        Materializes a :class:`Graph` view over the packed store slices —
+        use the store/loader directly in hot loops.
+        """
+        self.ensure(int(i))
+        s = self.store.get(int(i))
+        g = Graph(
+            s.num_nodes,
+            s.edge_index,
+            node_type=s.node_type,
+            node_features=s.node_features,
+            edge_type=s.edge_type,
+            edge_attr=s.edge_attr,
+        )
+        return g, s.features
 
     def cache_info(self) -> CacheInfo:
-        """Hits/misses/occupancy of the subgraph cache."""
+        """Hits/misses/occupancy of the subgraph cache.
+
+        For the packed-array memory report use ``self.store.cache_info()``.
+        """
         return CacheInfo(
             hits=self._hits,
             misses=self._misses,
-            size=sum(1 for c in self._cache if c is not None),
-            capacity=len(self._cache),
+            size=len(self.store),
+            capacity=self.task.num_links,
         )
 
     def clear_cache(self) -> None:
         """Drop every cached subgraph and reset the hit/miss statistics."""
-        self._cache = [None] * self.task.num_links
+        self.store.clear()
         self._hits = 0
         self._misses = 0
 
-    def prepare(self, indices: Optional[Sequence[int]] = None) -> None:
-        """Eagerly extract (and cache) the given links (default: all)."""
-        for i in indices if indices is not None else range(len(self)):
-            self.extract(int(i))
-
+    # ------------------------------------------------------------------ #
+    # batching (thin wrapper + deprecated shims over repro.data)
+    # ------------------------------------------------------------------ #
     def batch(self, indices: Sequence[int]) -> Tuple[GraphBatch, np.ndarray]:
         """Collate the given links into one batch; returns (batch, labels)."""
+        from repro.data.loader import collate_from_store
+
         indices = np.asarray(indices, dtype=np.int64)
-        graphs, feats = [], []
         for i in indices:
-            g, f = self.extract(int(i))
-            graphs.append(g)
-            feats.append(f)
-        batch = collate(graphs, feats, edge_attr_dim=self.task.edge_attr_dim)
+            self.ensure(int(i))
+        batch = collate_from_store(
+            self.store, indices, edge_attr_dim=self.task.edge_attr_dim
+        )
         return batch, self.task.labels[indices]
+
+    def prepare(self, indices: Optional[Sequence[int]] = None) -> None:
+        """Deprecated: use :func:`repro.data.warm` / ``DataLoader.warm()``."""
+        warnings.warn(
+            "SEALDataset.prepare() is deprecated; use repro.data.warm(dataset) "
+            "or repro.data.DataLoader(...).warm() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.data.loader import DataLoader
+
+        DataLoader(self, batch_size=64).warm(indices)
 
     def iter_batches(
         self,
@@ -267,18 +341,19 @@ class SEALDataset:
         shuffle: bool = False,
         rng: RngLike = None,
     ) -> Iterator[Tuple[GraphBatch, np.ndarray]]:
-        """Yield mini-batches over ``indices`` (optionally shuffled).
+        """Deprecated: use :class:`repro.data.DataLoader`.
 
-        Shuffling only permutes the serving order: extraction results are
-        keyed by link index (see class docstring), so passing a fresh
-        ``rng`` each epoch re-orders batches without ever re-extracting
-        or perturbing cached subgraphs.
+        Kept as a thin shim — it builds a serial ``DataLoader`` with the
+        equivalent sampler, so batch contents and ordering are unchanged.
         """
-        if batch_size <= 0:
-            raise ValueError("batch_size must be positive")
-        indices = np.asarray(indices, dtype=np.int64)
-        if shuffle:
-            indices = ensure_rng(rng).permutation(indices)
-        for start in range(0, len(indices), batch_size):
-            chunk = indices[start : start + batch_size]
-            yield self.batch(chunk)
+        warnings.warn(
+            "SEALDataset.iter_batches() is deprecated; use "
+            "repro.data.DataLoader(dataset, indices, batch_size, ...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.data.loader import DataLoader
+
+        return iter(
+            DataLoader(self, indices, batch_size, shuffle=shuffle, rng=rng)
+        )

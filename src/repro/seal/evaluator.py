@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
+from repro.data.loader import DataLoader
 from repro.metrics.classification import (
     accuracy,
     average_precision,
@@ -37,14 +38,21 @@ def predict_proba(
     indices: Sequence[int],
     *,
     batch_size: int = 64,
+    num_workers: int = 0,
 ) -> np.ndarray:
-    """Class probabilities ``(len(indices), C)`` in evaluation mode."""
+    """Class probabilities ``(len(indices), C)`` in evaluation mode.
+
+    ``num_workers > 0`` extracts uncached subgraphs through the data
+    loader's worker pool; probabilities are identical either way.
+    """
     was_training = model.training
     model.eval()
     chunks = []
     try:
-        with no_grad():
-            for batch, _ in dataset.iter_batches(indices, batch_size):
+        with no_grad(), DataLoader(
+            dataset, indices, batch_size, num_workers=num_workers
+        ) as loader:
+            for batch, _ in loader:
                 logits = model(batch)
                 chunks.append(F.softmax(logits, axis=-1).data)
     finally:
@@ -59,6 +67,7 @@ def evaluate(
     *,
     batch_size: int = 64,
     rng_class_pick: int = 0,
+    num_workers: int = 0,
 ) -> EvalResult:
     """Evaluate ``model`` on the links selected by ``indices``.
 
@@ -69,7 +78,9 @@ def evaluate(
     indices = np.asarray(indices, dtype=np.int64)
     with obs.trace("eval"):
         t0 = time.perf_counter()
-        probs = predict_proba(model, dataset, indices, batch_size=batch_size)
+        probs = predict_proba(
+            model, dataset, indices, batch_size=batch_size, num_workers=num_workers
+        )
         t1 = time.perf_counter()
         labels = dataset.task.labels[indices]
         preds = probs.argmax(axis=1)

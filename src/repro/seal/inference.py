@@ -4,23 +4,26 @@ After training a classifier on a :class:`~repro.seal.LinkTask`, a
 downstream user wants class probabilities for *new* pairs — the missing
 links the paper's introduction motivates completing. ``classify_pairs``
 runs the same extraction → features → model pipeline for arbitrary
-pairs, without requiring labels.
+pairs, without requiring labels, by wrapping them in an unlabeled
+throwaway task served through the :mod:`repro.data` loader — so
+inference shares the exact extraction/collation code path (and the
+``num_workers`` scaling) with training and evaluation.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
 from repro import obs
-from repro.graph.batch import collate
+from repro.data.loader import DataLoader
 from repro.graph.structure import Graph
-from repro.graph.subgraph import extract_enclosing_subgraph
 from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.nn.tensor import no_grad
-from repro.seal.features import FeatureConfig, build_node_features
+from repro.seal.dataset import LinkTask, SEALDataset
+from repro.seal.features import FeatureConfig
 from repro.utils.rng import RngLike, derive
 
 __all__ = ["classify_pairs"]
@@ -37,40 +40,40 @@ def classify_pairs(
     subgraph_mode: str = "union",
     max_subgraph_nodes: Optional[int] = 100,
     batch_size: int = 64,
+    num_workers: int = 0,
     rng: RngLike = 0,
 ) -> np.ndarray:
     """Class probabilities ``(M, C)`` for arbitrary node pairs.
 
     Parameters mirror the :class:`~repro.seal.LinkTask` the model was
     trained on — extraction and feature settings must match training or
-    the feature widths will disagree.
+    the feature widths will disagree. ``num_workers > 0`` fans subgraph
+    extraction out over a worker pool (results are identical to serial).
     """
     pairs = np.asarray(pairs, dtype=np.int64)
     if pairs.ndim != 2 or pairs.shape[1] != 2:
         raise ValueError("pairs must have shape (M, 2)")
-    gen = derive(rng, "inference")
+    task = LinkTask(
+        graph=graph,
+        pairs=pairs,
+        labels=np.zeros(len(pairs), dtype=np.int64),
+        num_classes=1,
+        feature_config=feature_config,
+        name="inference",
+        subgraph_mode=subgraph_mode,
+        num_hops=num_hops,
+        max_subgraph_nodes=max_subgraph_nodes,
+        edge_attr_dim=edge_attr_dim,
+    )
+    dataset = SEALDataset(task, rng=derive(rng, "inference"))
     was_training = model.training
     model.eval()
     chunks = []
     try:
-        with no_grad(), obs.trace("inference"):
-            for start in range(0, len(pairs), batch_size):
-                chunk = pairs[start : start + batch_size]
-                graphs, feats = [], []
-                with obs.trace("extraction"):
-                    for u, v in chunk:
-                        sub = extract_enclosing_subgraph(
-                            graph,
-                            int(u),
-                            int(v),
-                            k=num_hops,
-                            mode=subgraph_mode,
-                            max_nodes=max_subgraph_nodes,
-                            rng=gen,
-                        )
-                        graphs.append(sub.graph)
-                        feats.append(build_node_features(sub, feature_config))
-                batch = collate(graphs, feats, edge_attr_dim=edge_attr_dim)
+        with no_grad(), obs.trace("inference"), DataLoader(
+            dataset, batch_size=batch_size, num_workers=num_workers
+        ) as loader:
+            for batch, _ in loader:
                 with obs.trace("forward"):
                     chunks.append(F.softmax(model(batch), axis=-1).data)
     finally:

@@ -21,6 +21,8 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 import numpy as np
 
 from repro import obs
+from repro.data.loader import DataLoader
+from repro.data.samplers import Sampler
 from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
 from repro.nn.optim import Adam, clip_grad_norm
@@ -55,6 +57,8 @@ class TrainConfig:
     eval_batch_size: int = 64
     restore_best: bool = False  # reload the best-AUC epoch's weights at the end
     patience: Optional[int] = None  # stop after this many epochs w/o AUC improvement
+    num_workers: int = 0  # extraction worker processes for the data loader
+    prefetch_factor: int = 2  # chunks kept in flight per worker
 
 
 class _EpochCallbackAdapter:
@@ -104,6 +108,7 @@ def train(
     *,
     eval_indices: Optional[Sequence[int]] = None,
     rng: RngLike = 0,
+    sampler: Optional[Sampler] = None,
     callbacks: Optional[Iterable[TrainingLogger]] = None,
     verbose: Union[bool, None] = None,
     epoch_callback: Optional[Callable[[int, TrainResult], None]] = None,
@@ -120,6 +125,10 @@ def train(
         (feeds the epoch-sweep figures).
     rng: shuffling stream (training is deterministic given model init,
         data and this seed).
+    sampler: explicit :class:`~repro.data.Sampler` controlling batch
+        composition (e.g. :class:`~repro.data.StratifiedBatchSampler`
+        for skewed label distributions); overrides the default shuffled
+        sampling over ``train_indices``.
     callbacks: :class:`~repro.obs.TrainingLogger` implementations driven
         at train begin / epoch end / train end — loggers, metric sinks,
         tuner pruners.
@@ -147,51 +156,69 @@ def train(
     best_state = None
     model.train()
 
+    loader = DataLoader(
+        dataset,
+        train_indices,
+        config.batch_size,
+        sampler=sampler,
+        shuffle=True,
+        rng=shuffle_rng,
+        num_workers=config.num_workers,
+        prefetch_factor=config.prefetch_factor,
+    )
+
     for cb in cbs:
         cb.on_train_begin(config, result)
 
-    for epoch in range(config.epochs):
-        epoch_losses: list = []
-        with watch.segment("epoch"):
-            for batch, labels in dataset.iter_batches(
-                train_indices, config.batch_size, shuffle=True, rng=shuffle_rng
-            ):
-                with watch.segment("forward"), obs.trace("forward"):
-                    optimizer.zero_grad()
-                    logits = model(batch)
-                    loss = cross_entropy(logits, labels, weight=config.class_weights)
-                with watch.segment("backward"), obs.trace("backward"):
-                    loss.backward()
-                with watch.segment("optimizer"), obs.trace("optimizer"):
-                    if config.grad_clip is not None:
-                        clip_grad_norm(model.parameters(), config.grad_clip)
-                    optimizer.step()
-                epoch_losses.append(float(loss.data))
-        result.losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
-        result.epoch_seconds.append(watch.totals["epoch"] - sum(result.epoch_seconds))
-        result.epochs_run = epoch + 1
+    try:
+        for epoch in range(config.epochs):
+            epoch_losses: list = []
+            with watch.segment("epoch"):
+                for batch, labels in loader:
+                    with watch.segment("forward"), obs.trace("forward"):
+                        optimizer.zero_grad()
+                        logits = model(batch)
+                        loss = cross_entropy(logits, labels, weight=config.class_weights)
+                    with watch.segment("backward"), obs.trace("backward"):
+                        loss.backward()
+                    with watch.segment("optimizer"), obs.trace("optimizer"):
+                        if config.grad_clip is not None:
+                            clip_grad_norm(model.parameters(), config.grad_clip)
+                        optimizer.step()
+                    epoch_losses.append(float(loss.data))
+            result.losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+            result.epoch_seconds.append(watch.totals["epoch"] - sum(result.epoch_seconds))
+            result.epochs_run = epoch + 1
 
-        if eval_indices is not None:
-            with watch.segment("eval"):
-                epoch_eval: EvalResult = evaluate(
-                    model, dataset, eval_indices, batch_size=config.eval_batch_size
+            if eval_indices is not None:
+                with watch.segment("eval"):
+                    epoch_eval: EvalResult = evaluate(
+                        model,
+                        dataset,
+                        eval_indices,
+                        batch_size=config.eval_batch_size,
+                        num_workers=config.num_workers,
+                    )
+                result.eval_auc.append(epoch_eval.auc)
+                result.eval_ap.append(epoch_eval.ap)
+                if result.best_epoch is None or epoch_eval.auc > result.eval_auc[result.best_epoch]:
+                    result.best_epoch = epoch
+                    if config.restore_best:
+                        best_state = model.state_dict()
+            _update_phase_seconds(result, watch)
+            for cb in cbs:
+                cb.on_epoch_end(epoch, result)
+            if (
+                config.patience is not None
+                and result.best_epoch is not None
+                and epoch - result.best_epoch >= config.patience
+            ):
+                logger.info(
+                    "early stop at epoch %d (best was %d)", epoch + 1, result.best_epoch + 1
                 )
-            result.eval_auc.append(epoch_eval.auc)
-            result.eval_ap.append(epoch_eval.ap)
-            if result.best_epoch is None or epoch_eval.auc > result.eval_auc[result.best_epoch]:
-                result.best_epoch = epoch
-                if config.restore_best:
-                    best_state = model.state_dict()
-        _update_phase_seconds(result, watch)
-        for cb in cbs:
-            cb.on_epoch_end(epoch, result)
-        if (
-            config.patience is not None
-            and result.best_epoch is not None
-            and epoch - result.best_epoch >= config.patience
-        ):
-            logger.info("early stop at epoch %d (best was %d)", epoch + 1, result.best_epoch + 1)
-            break
+                break
+    finally:
+        loader.close()
     for cb in cbs:
         cb.on_train_end(result)
     if config.restore_best and best_state is not None:
@@ -204,8 +231,9 @@ def _update_phase_seconds(result: TrainResult, watch: Stopwatch) -> None:
     """Refresh the wall-time breakdown from the stopwatch totals.
 
     ``data`` is everything inside the epoch loop that is not the three
-    compute phases — i.e. subgraph extraction + collation served by
-    ``iter_batches``.
+    compute phases — i.e. subgraph extraction + collation (and, with
+    ``num_workers > 0``, queue waits) served by the
+    :class:`~repro.data.DataLoader`.
     """
     forward = watch.totals["forward"]
     backward = watch.totals["backward"]

@@ -1,7 +1,8 @@
 """Hyperparameter auto-tuning: GP-EI Bayesian optimization (DeepHyper stand-in)."""
 
 from repro.tuning.acquisition import expected_improvement, upper_confidence_bound
-from repro.tuning.cbo import CBOTuner, Trial, TuneResult
+from repro.tuning.cbo import CBOTuner, Trial, TuneResult, execute_trial
+from repro.tuning.evaluators import make_seal_evaluator
 from repro.tuning.gp import GaussianProcess, matern52_kernel, rbf_kernel
 from repro.tuning.random_search import random_search
 from repro.tuning.space import (
@@ -26,5 +27,7 @@ __all__ = [
     "CBOTuner",
     "Trial",
     "TuneResult",
+    "execute_trial",
+    "make_seal_evaluator",
     "random_search",
 ]

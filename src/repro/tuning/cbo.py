@@ -26,7 +26,7 @@ from repro.tuning.space import SearchSpace, Value
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngLike, ensure_rng
 
-__all__ = ["Trial", "TuneResult", "CBOTuner"]
+__all__ = ["Trial", "TuneResult", "CBOTuner", "execute_trial"]
 
 logger = get_logger("tuning.cbo")
 
@@ -68,6 +68,25 @@ class TuneResult:
     def score_trace(self) -> np.ndarray:
         """Best-so-far score after each trial (monotone non-decreasing)."""
         return np.maximum.accumulate([t.score for t in self.trials])
+
+
+def execute_trial(
+    evaluator: Callable[[Dict[str, Value]], float],
+    config: Dict[str, Value],
+    index: int,
+) -> Trial:
+    """Run one tuner trial: time + trace the evaluator call.
+
+    The single trial-execution path shared by every search strategy, so
+    all tuners emit identical ``tuning.*`` counters and ``trial`` traces.
+    """
+    t0 = time.perf_counter()
+    with obs.trace("trial"):
+        score = float(evaluator(config))
+    elapsed = time.perf_counter() - t0
+    obs.count("tuning.trials")
+    obs.observe("tuning.trial_seconds", elapsed)
+    return Trial(config=config, score=score, index=index, seconds=elapsed)
 
 
 class CBOTuner:
@@ -126,15 +145,12 @@ class CBOTuner:
         for i in range(n_trials):
             with obs.trace("suggest"):
                 config = self.suggest(result.trials)
-            t0 = time.perf_counter()
-            with obs.trace("trial"):
-                score = float(evaluator(config))
-            elapsed = time.perf_counter() - t0
-            obs.count("tuning.trials")
-            obs.observe("tuning.trial_seconds", elapsed)
-            trial = Trial(config=config, score=score, index=i, seconds=elapsed)
+            trial = execute_trial(evaluator, config, i)
             result.trials.append(trial)
-            logger.info("trial %d score=%.4f %.2fs config=%s", i, score, elapsed, config)
+            logger.info(
+                "trial %d score=%.4f %.2fs config=%s",
+                i, trial.score, trial.seconds, config,
+            )
             if callback is not None:
                 callback(trial)
         return result

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict
 
-from repro import obs
-from repro.tuning.cbo import Trial, TuneResult
+from repro.tuning.cbo import TuneResult, execute_trial
 from repro.tuning.space import SearchSpace, Value
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -25,12 +23,5 @@ def random_search(
     gen = ensure_rng(rng)
     result = TuneResult()
     for i in range(n_trials):
-        config = space.sample(gen)
-        t0 = time.perf_counter()
-        with obs.trace("trial"):
-            score = float(evaluator(config))
-        elapsed = time.perf_counter() - t0
-        obs.count("tuning.trials")
-        obs.observe("tuning.trial_seconds", elapsed)
-        result.trials.append(Trial(config=config, score=score, index=i, seconds=elapsed))
+        result.trials.append(execute_trial(evaluator, space.sample(gen), i))
     return result

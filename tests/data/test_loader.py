@@ -1,0 +1,199 @@
+"""DataLoader: parallel == serial bit-identity, fallback, shims, warm."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.data.loader as loader_mod
+from repro.data import DataLoader, StratifiedBatchSampler, collate_from_store, warm
+from repro.datasets.primekg import load_primekg_like
+from repro.graph.batch import collate
+from repro.models import AMDGCNN
+from repro.seal.dataset import SEALDataset, train_test_split_indices
+from repro.seal.trainer import TrainConfig, train
+
+
+@pytest.fixture(scope="module")
+def task():
+    return load_primekg_like(scale=0.12, num_targets=40, rng=0)
+
+
+def fresh_dataset(task):
+    return SEALDataset(task, rng=7)
+
+
+def batch_stream(loader, epochs=1):
+    """Materialize (edge_index, node_features, edge_attr, batch, labels)."""
+    out = []
+    for _ in range(epochs):
+        for batch, labels in loader:
+            out.append(
+                (
+                    batch.edge_index.copy(),
+                    batch.node_features.copy(),
+                    batch.edge_attr.copy(),
+                    batch.batch.copy(),
+                    labels.copy(),
+                )
+            )
+    return out
+
+
+def assert_streams_equal(a, b):
+    assert len(a) == len(b)
+    for ta, tb in zip(a, b):
+        for x, y in zip(ta, tb):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestParallelBitIdentity:
+    def test_shuffled_epochs_identical_across_worker_counts(self, task):
+        serial = DataLoader(fresh_dataset(task), batch_size=8, shuffle=True, rng=3)
+        with DataLoader(
+            fresh_dataset(task), batch_size=8, shuffle=True, rng=3, num_workers=2
+        ) as parallel:
+            assert_streams_equal(
+                batch_stream(serial, epochs=2), batch_stream(parallel, epochs=2)
+            )
+
+    def test_cache_accounting_matches_serial(self, task):
+        ds = fresh_dataset(task)
+        with DataLoader(ds, batch_size=8, num_workers=2) as loader:
+            batch_stream(loader, epochs=2)
+        info = ds.cache_info()
+        assert info.misses == task.num_links  # extracted exactly once each
+        assert info.size == info.capacity == task.num_links
+
+    def test_trained_weights_identical_across_worker_counts(self, task):
+        def run(num_workers):
+            ds = fresh_dataset(task)
+            tr, te = train_test_split_indices(
+                task.num_links, 0.3, labels=task.labels, rng=0
+            )
+            model = AMDGCNN(
+                ds.feature_width,
+                task.num_classes,
+                edge_dim=task.edge_attr_dim,
+                heads=2,
+                hidden_dim=8,
+                num_conv_layers=2,
+                sort_k=6,
+                dropout=0.0,
+                rng=1,
+            )
+            result = train(
+                model,
+                ds,
+                tr,
+                TrainConfig(epochs=2, batch_size=8, lr=1e-3, num_workers=num_workers),
+                eval_indices=te,
+                rng=5,
+                verbose=False,
+            )
+            return result, model.state_dict()
+
+        serial_result, serial_state = run(0)
+        parallel_result, parallel_state = run(2)
+        assert serial_result.losses == parallel_result.losses
+        assert serial_result.eval_auc == parallel_result.eval_auc
+        assert serial_state.keys() == parallel_state.keys()
+        for name in serial_state:
+            np.testing.assert_array_equal(serial_state[name], parallel_state[name])
+
+
+class TestFallback:
+    def test_worker_crash_falls_back_to_serial(self, task, monkeypatch):
+        def boom(chunk):
+            raise RuntimeError("worker exploded")
+
+        # Forked workers inherit the patched module, so every chunk fails.
+        monkeypatch.setattr(loader_mod, "_worker_extract", boom)
+        expected = batch_stream(DataLoader(fresh_dataset(task), batch_size=8))
+        with DataLoader(fresh_dataset(task), batch_size=8, num_workers=2) as loader:
+            got = batch_stream(loader)
+            assert loader._pool_broken
+        assert_streams_equal(expected, got)
+
+    def test_pool_creation_failure_falls_back(self, task, monkeypatch):
+        def no_pool(self):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(DataLoader, "_ensure_pool", no_pool)
+        expected = batch_stream(DataLoader(fresh_dataset(task), batch_size=8))
+        with DataLoader(fresh_dataset(task), batch_size=8, num_workers=2) as loader:
+            got = batch_stream(loader)
+        assert_streams_equal(expected, got)
+
+
+class TestWarm:
+    def test_warm_fills_whole_store(self, task):
+        ds = fresh_dataset(task)
+        warm(ds)
+        assert ds.cache_info().size == task.num_links
+
+    def test_warm_does_not_consume_shuffle_stream(self, task):
+        plain = DataLoader(fresh_dataset(task), batch_size=8, shuffle=True, rng=11)
+        warmed = DataLoader(fresh_dataset(task), batch_size=8, shuffle=True, rng=11)
+        warmed.warm()
+        assert_streams_equal(batch_stream(plain), batch_stream(warmed))
+
+
+class TestCollateFromStore:
+    def test_matches_object_collate(self, task):
+        ds = fresh_dataset(task)
+        idx = np.arange(12)
+        extracted = [ds.extract(int(i)) for i in idx]
+        expected = collate(
+            [g for g, _ in extracted],
+            [f for _, f in extracted],
+            edge_attr_dim=task.edge_attr_dim,
+        )
+        got = collate_from_store(ds.store, idx, edge_attr_dim=task.edge_attr_dim)
+        np.testing.assert_array_equal(expected.edge_index, got.edge_index)
+        np.testing.assert_array_equal(expected.node_features, got.node_features)
+        np.testing.assert_array_equal(expected.edge_attr, got.edge_attr)
+        np.testing.assert_array_equal(expected.batch, got.batch)
+        assert expected.num_graphs == got.num_graphs
+
+    def test_empty_batch_rejected(self, task):
+        ds = fresh_dataset(task)
+        with pytest.raises(ValueError):
+            collate_from_store(ds.store, np.array([], dtype=np.int64))
+
+
+class TestStratifiedLoader:
+    def test_stratified_sampler_drives_loader(self, task):
+        ds = fresh_dataset(task)
+        sampler = StratifiedBatchSampler(
+            np.arange(task.num_links), task.labels, 8, rng=0
+        )
+        served = []
+        for batch, labels in DataLoader(ds, sampler=sampler):
+            served.extend(labels.tolist())
+            assert batch.num_graphs == len(labels)
+        assert len(served) == task.num_links
+
+
+class TestDeprecatedShims:
+    def test_prepare_warns_and_fills(self, task):
+        ds = fresh_dataset(task)
+        with pytest.warns(DeprecationWarning, match="repro.data.warm"):
+            ds.prepare()
+        assert ds.cache_info().size == task.num_links
+
+    def test_iter_batches_warns_and_matches_loader(self, task):
+        ds = fresh_dataset(task)
+        with pytest.warns(DeprecationWarning, match="repro.data.DataLoader"):
+            legacy = [
+                (b.edge_index.copy(), lb.copy())
+                for b, lb in ds.iter_batches(np.arange(20), 6)
+            ]
+        modern = [
+            (b.edge_index.copy(), lb.copy())
+            for b, lb in DataLoader(fresh_dataset(task), np.arange(20), 6)
+        ]
+        assert len(legacy) == len(modern)
+        for (ea, la), (eb, lb) in zip(legacy, modern):
+            np.testing.assert_array_equal(ea, eb)
+            np.testing.assert_array_equal(la, lb)

@@ -1,0 +1,111 @@
+"""SubgraphStore: packed roundtrips, growth, memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.data import PackedSubgraph, SubgraphStore
+
+
+def make_sample(index, n, e, *, feature_dim=4, edge_attr_dim=0, node_feature_dim=0, seed=0):
+    gen = np.random.default_rng(seed + index)
+    return PackedSubgraph(
+        index=index,
+        num_nodes=n,
+        num_edges=e,
+        edge_index=gen.integers(0, n, size=(2, e)),
+        features=gen.normal(size=(n, feature_dim)),
+        node_type=gen.integers(0, 3, size=n),
+        edge_type=gen.integers(0, 3, size=e),
+        edge_attr=gen.normal(size=(e, edge_attr_dim)) if edge_attr_dim else None,
+        node_features=gen.normal(size=(n, node_feature_dim)) if node_feature_dim else None,
+    )
+
+
+class TestRoundtrip:
+    def test_put_get_preserves_arrays(self):
+        store = SubgraphStore(4, 4, edge_attr_dim=3, node_feature_dim=2)
+        s = make_sample(2, 7, 12, edge_attr_dim=3, node_feature_dim=2)
+        store.put(s)
+        out = store.get(2)
+        assert (out.num_nodes, out.num_edges) == (7, 12)
+        np.testing.assert_array_equal(out.edge_index, s.edge_index)
+        np.testing.assert_array_equal(out.features, s.features)
+        np.testing.assert_array_equal(out.node_type, s.node_type)
+        np.testing.assert_array_equal(out.edge_type, s.edge_type)
+        np.testing.assert_array_equal(out.edge_attr, s.edge_attr)
+        np.testing.assert_array_equal(out.node_features, s.node_features)
+
+    def test_out_of_order_insertion(self):
+        store = SubgraphStore(10, 4)
+        samples = {i: make_sample(i, 3 + i, 5 + i) for i in (7, 0, 4)}
+        for i in (7, 0, 4):
+            store.put(samples[i])
+        for i in (0, 4, 7):
+            np.testing.assert_array_equal(store.get(i).features, samples[i].features)
+
+    def test_membership_and_missing(self):
+        store = SubgraphStore(6, 4)
+        store.put(make_sample(1, 3, 4))
+        store.put(make_sample(4, 3, 4))
+        assert 1 in store and 4 in store and 0 not in store
+        np.testing.assert_array_equal(
+            store.missing(np.array([0, 1, 2, 2, 4, 5, 0])), [0, 2, 5]
+        )
+
+    def test_duplicate_put_is_noop(self):
+        store = SubgraphStore(3, 4)
+        store.put(make_sample(0, 5, 6))
+        before = store.cache_info()
+        store.put(make_sample(0, 9, 9))  # different payload, same index
+        assert store.cache_info() == before
+        assert store.get(0).num_nodes == 5
+
+    def test_get_absent_raises(self):
+        with pytest.raises(KeyError):
+            SubgraphStore(3, 4).get(1)
+
+    def test_index_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            SubgraphStore(3, 4).put(make_sample(3, 2, 2))
+
+    def test_feature_shape_validated(self):
+        store = SubgraphStore(3, 8)  # store expects width 8, sample has 4
+        with pytest.raises(ValueError):
+            store.put(make_sample(0, 5, 6))
+
+
+class TestGrowth:
+    def test_buffers_grow_past_initial_capacity(self):
+        store = SubgraphStore(50, 4, edge_attr_dim=2)
+        samples = [make_sample(i, 40, 60, edge_attr_dim=2) for i in range(50)]
+        for s in samples:  # 2000 nodes / 3000 edges >> the initial 256/512
+            store.put(s)
+        info = store.cache_info()
+        assert info.entries == 50
+        assert info.nodes == 50 * 40 and info.edges == 50 * 60
+        for s in samples:  # data must survive every reallocation
+            out = store.get(s.index)
+            np.testing.assert_array_equal(out.edge_index, s.edge_index)
+            np.testing.assert_array_equal(out.features, s.features)
+            np.testing.assert_array_equal(out.edge_attr, s.edge_attr)
+
+
+class TestMemoryAccounting:
+    def test_nbytes_counts_all_buffers(self):
+        store = SubgraphStore(4, 4)
+        base = store.cache_info().nbytes
+        assert base > 0
+        for i in range(4):
+            store.put(make_sample(i, 100, 200))
+        grown = store.cache_info()
+        assert grown.nbytes > base
+        # the packed node/edge payload must be covered by the report
+        assert grown.nbytes >= grown.nodes * 4 * 8 + grown.edges * 2 * 8
+
+    def test_clear_resets_everything(self):
+        store = SubgraphStore(4, 4)
+        store.put(make_sample(0, 300, 600))
+        store.clear()
+        info = store.cache_info()
+        assert (info.entries, info.nodes, info.edges) == (0, 0, 0)
+        assert 0 not in store

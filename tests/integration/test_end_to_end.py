@@ -18,6 +18,7 @@ from repro.seal import (
     train,
     train_test_split_indices,
 )
+from repro.data import warm
 
 
 @pytest.fixture(scope="module")
@@ -25,7 +26,7 @@ def primekg_setup():
     task = load_primekg_like(scale=0.2, num_targets=200, rng=0)
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
-    ds.prepare()
+    warm(ds)
     return task, ds, tr, te
 
 
@@ -34,7 +35,7 @@ def wordnet_setup():
     task = load_wordnet_like(scale=0.25, num_targets=300, rng=0)
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
-    ds.prepare()
+    warm(ds)
     return task, ds, tr, te
 
 

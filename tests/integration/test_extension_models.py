@@ -12,6 +12,7 @@ from repro.seal import (
     train,
     train_test_split_indices,
 )
+from repro.data import warm
 
 
 @pytest.fixture(scope="module")
@@ -19,7 +20,7 @@ def wordnet_mini():
     task = load_wordnet_like(scale=0.2, num_targets=220, rng=0)
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.25, labels=task.labels, rng=0)
-    ds.prepare()
+    warm(ds)
     return task, ds, tr, te
 
 

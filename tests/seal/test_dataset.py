@@ -7,6 +7,7 @@ from repro.graph.generators import erdos_renyi_edges
 from repro.graph.structure import Graph
 from repro.seal.dataset import LinkTask, SEALDataset, train_test_split_indices
 from repro.seal.features import FeatureConfig
+from repro.data import warm
 
 
 def make_task(num_targets=20, seed=0, **overrides):
@@ -97,14 +98,21 @@ class TestSEALDataset:
         g, feats = ds.extract(0)
         assert feats.shape == (g.num_nodes, ds.feature_width)
 
-    def test_caching_returns_same_object(self):
+    def test_caching_extracts_once(self):
         ds = SEALDataset(make_task(), rng=0)
-        assert ds.extract(3) is ds.extract(3)
+        g1, f1 = ds.extract(3)
+        g2, f2 = ds.extract(3)
+        info = ds.cache_info()
+        assert (info.misses, info.hits) == (1, 1)
+        np.testing.assert_array_equal(g1.edge_index, g2.edge_index)
+        np.testing.assert_array_equal(f1, f2)
 
-    def test_prepare_fills_cache(self):
+    def test_warm_fills_store(self):
         ds = SEALDataset(make_task(num_targets=5), rng=0)
-        ds.prepare()
-        assert all(c is not None for c in ds._cache)
+        warm(ds)
+        info = ds.cache_info()
+        assert info.size == info.capacity == 5
+        assert ds.store.cache_info().nbytes > 0
 
     def test_leakage_guard_target_link_removed(self):
         # Even when the target pair IS an edge of the graph, its own

@@ -12,6 +12,7 @@ from repro.seal import (
     train,
     train_test_split_indices,
 )
+from repro.data import warm
 
 
 @pytest.fixture(scope="module")
@@ -19,7 +20,7 @@ def trained():
     task = load_primekg_like(scale=0.12, num_targets=60, rng=0)
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.3, labels=task.labels, rng=0)
-    ds.prepare()
+    warm(ds)
     model = AMDGCNN(
         ds.feature_width, task.num_classes, edge_dim=task.edge_attr_dim,
         heads=2, hidden_dim=16, num_conv_layers=2, sort_k=10, dropout=0.0, rng=1,

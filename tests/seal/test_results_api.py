@@ -18,6 +18,7 @@ from repro.seal import CacheInfo, CVResult, EvalResult, TrainResult, cross_valid
 from repro.seal.dataset import SEALDataset, train_test_split_indices
 from repro.seal.evaluator import evaluate
 from repro.seal.trainer import TrainConfig, train
+from repro.data import warm
 
 
 @pytest.fixture(scope="module")
@@ -25,7 +26,7 @@ def setup():
     task = load_primekg_like(scale=0.12, num_targets=60, rng=0)
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.3, labels=task.labels, rng=0)
-    ds.prepare()
+    warm(ds)
     return task, ds, tr, te
 
 
@@ -202,7 +203,7 @@ class TestCacheInfo:
     def test_clear_cache_resets(self):
         task = load_primekg_like(scale=0.12, num_targets=20, rng=0)
         ds = SEALDataset(task, rng=0)
-        ds.prepare()
+        warm(ds)
         ds.clear_cache()
         assert ds.cache_info() == CacheInfo(hits=0, misses=0, size=0, capacity=20)
 

@@ -14,6 +14,7 @@ from repro.seal import (
     make_link_classification_task,
     make_link_prediction_task,
 )
+from repro.data import warm
 
 
 @pytest.fixture
@@ -93,8 +94,7 @@ class TestCrossValidate:
     def test_runs_all_folds(self, medium_graph):
         task = make_link_prediction_task(medium_graph, 30, rng=0)
         ds = SEALDataset(task, rng=0)
-        ds.prepare()
-
+        warm(ds)
         def factory(fold):
             return AMDGCNN(
                 ds.feature_width, 2, edge_dim=task.edge_attr_dim,

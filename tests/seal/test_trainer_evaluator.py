@@ -8,6 +8,7 @@ from repro.models import AMDGCNN
 from repro.seal.dataset import SEALDataset, train_test_split_indices
 from repro.seal.evaluator import evaluate, predict_proba
 from repro.seal.trainer import TrainConfig, train
+from repro.data import warm
 
 
 @pytest.fixture(scope="module")
@@ -15,7 +16,7 @@ def small_setup():
     task = load_primekg_like(scale=0.12, num_targets=60, rng=0)
     ds = SEALDataset(task, rng=0)
     tr, te = train_test_split_indices(task.num_links, 0.3, labels=task.labels, rng=0)
-    ds.prepare()
+    warm(ds)
     return task, ds, tr, te
 
 
