@@ -1,0 +1,57 @@
+"""Opt-in regression gate: planned kernels must never net-lose.
+
+Runs ``scripts/check_bench.py`` against the committed
+``results/BENCH_kernels.json`` history. Marked ``bench_gate`` and kept
+out of tier-1 (``testpaths`` excludes ``benchmarks/``); select it with
+
+    PYTHONPATH=src python -m pytest benchmarks -m bench_gate
+
+Skips — rather than fails — when no benchmark history exists yet, so a
+fresh checkout can still run the benchmark directory end to end.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_kernels.json"
+
+sys.path.insert(0, str(SCRIPTS))
+import check_bench  # noqa: E402
+
+
+@pytest.mark.bench_gate
+def test_planned_kernels_have_not_regressed():
+    if not RESULTS.exists():
+        pytest.skip("no BENCH_kernels.json yet — run the kernels microbenchmark")
+    out = io.StringIO()
+    status = check_bench.check(RESULTS, min_geomean=1.0, out=out)
+    print(out.getvalue())
+    assert status == 0, out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_gate_fails_on_regression(tmp_path):
+    """The gate actually bites: a fabricated slowdown run must fail."""
+    bad = tmp_path / "BENCH_kernels.json"
+    bad.write_text(
+        '[{"benchmark": "segment_kernels", "unix_time": 0, "records": ['
+        '{"kernel": "segment_sum", "E": 20000, "tail": [8], "speedup": 0.5},'
+        '{"kernel": "segment_softmax", "E": 20000, "tail": [2], "speedup": 0.9}'
+        "]}]"
+    )
+    out = io.StringIO()
+    assert check_bench.check(bad, min_geomean=1.0, out=out) == 1
+    assert "FAIL" in out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_gate_reports_missing_file(tmp_path):
+    out = io.StringIO()
+    assert check_bench.check(tmp_path / "nope.json", out=out) == 1
+    assert "not found" in out.getvalue()

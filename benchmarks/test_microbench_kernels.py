@@ -1,0 +1,192 @@
+"""Segment-kernel engine microbenchmarks: planned vs ``np.add.at``.
+
+Times the planned :class:`~repro.nn.kernels.SegmentPlan` kernels against
+the unbuffered ``np.add.at`` / ``np.maximum.at`` fallback at SEAL-like
+and larger-than-SEAL edge counts, plus a full GATConv forward+backward
+with a warm :class:`~repro.nn.kernels.PlanCache` against the plan-free
+path. Appends every run to ``results/BENCH_kernels.json`` — the record
+``scripts/check_bench.py`` gates on.
+
+The plan build is timed separately and NOT charged to the planned
+kernels: plans are built once per batch composition and reused across
+every op, layer, backward pass and epoch (see ``SubgraphStore``'s plan
+cache), so the amortized regime is the honest one. The build cost is
+reported so the amortization claim stays checkable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.models.layers import GATConv
+from repro.nn.kernels import PlanCache, SegmentPlan, use_plans
+from repro.nn.indexing import segment_softmax, segment_sum
+from repro.nn.tensor import Tensor
+
+RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_kernels.json"
+
+# (E, N, tail) workloads. The multi-column shapes are what the pipeline
+# actually runs (GAT logits are (E, H), messages (E, H, C)); 1-D is
+# included for honesty — np.add.at has a fast path there and the planned
+# kernel is roughly a wash, which the record shows.
+SUM_SHAPES = [
+    (10_000, 2_000, (32,)),
+    (20_000, 4_000, (8,)),
+    (20_000, 4_000, (2, 16)),
+    (10_000, 2_000, ()),
+]
+SOFTMAX_SHAPES = [
+    (10_000, 2_000, (4,)),
+    (20_000, 4_000, (2,)),
+]
+
+
+def best_of(fn: Callable[[], object], repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_segment_sum(records: List[Dict]) -> None:
+    for e, n, tail in SUM_SHAPES:
+        gen = np.random.default_rng(e + n)
+        idx = gen.integers(0, n, size=e)
+        data = Tensor(gen.normal(size=(e,) + tail))
+        t_build = best_of(lambda: SegmentPlan(idx, n), repeats=3)
+        plan = SegmentPlan(idx, n)
+        plan.segment_sum(data.data)  # warm the lazy CSR matrix
+
+        t_planned = best_of(lambda: segment_sum(data, idx, n, plan=plan))
+        with use_plans(False):
+            t_base = best_of(lambda: segment_sum(data, idx, n))
+
+        np.testing.assert_array_equal(
+            segment_sum(data, idx, n, plan=plan).data,
+            segment_sum(data, idx, n).data,
+        )
+        records.append(
+            {
+                "kernel": "segment_sum",
+                "E": e,
+                "num_segments": n,
+                "tail": list(tail),
+                "plan_build_s": round(t_build, 6),
+                "baseline_s": round(t_base, 6),
+                "planned_s": round(t_planned, 6),
+                "speedup": round(t_base / t_planned, 3),
+            }
+        )
+
+
+def bench_segment_softmax(records: List[Dict]) -> None:
+    for e, n, tail in SOFTMAX_SHAPES:
+        gen = np.random.default_rng(e * 3 + n)
+        idx = gen.integers(0, n, size=e)
+        logits = Tensor(gen.normal(size=(e,) + tail))
+        plan = SegmentPlan(idx, n)
+        plan.segment_sum(np.ones((e,) + tail))  # warm the CSR matrix
+
+        t_planned = best_of(lambda: segment_softmax(logits, idx, n, plan=plan))
+        with use_plans(False):
+            t_base = best_of(lambda: segment_softmax(logits, idx, n))
+
+        records.append(
+            {
+                "kernel": "segment_softmax",
+                "E": e,
+                "num_segments": n,
+                "tail": list(tail),
+                "baseline_s": round(t_base, 6),
+                "planned_s": round(t_planned, 6),
+                "speedup": round(t_base / t_planned, 3),
+            }
+        )
+
+
+def bench_gatconv(records: List[Dict]) -> None:
+    """Full forward+backward of a SEAL-sized GATConv, warm plans vs none."""
+    gen = np.random.default_rng(17)
+    n, e, f = 1_200, 6_000, 32  # ~16 enclosing subgraphs of ~75 nodes
+    ei = np.stack([gen.integers(0, n, size=e), gen.integers(0, n, size=e)])
+    ea = np.eye(8)[gen.integers(0, 8, size=e)]
+    x = gen.normal(size=(n, f))
+    conv = GATConv(f, 32, heads=2, edge_dim=8, rng=0)
+    plans = PlanCache(ei, n)
+
+    def step(use: bool) -> float:
+        xt = Tensor(x, requires_grad=True)
+        out = conv(xt, ei, ea, plans=plans if use else None)
+        loss = (out * out).mean()
+        loss.backward()
+        return float(loss.data)
+
+    step(True)  # warm the plan cache (argsorts + CSR matrices)
+    t_planned = best_of(lambda: step(True))
+    with use_plans(False):
+        t_base = best_of(lambda: step(False))
+
+    records.append(
+        {
+            "kernel": "gatconv_fwd_bwd",
+            "E": e,
+            "num_segments": n,
+            "tail": [2, 16],
+            "baseline_s": round(t_base, 6),
+            "planned_s": round(t_planned, 6),
+            "speedup": round(t_base / t_planned, 3),
+        }
+    )
+
+
+def geomean(values: List[float]) -> float:
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def test_planned_kernels_beat_add_at():
+    records: List[Dict] = []
+    bench_segment_sum(records)
+    bench_segment_softmax(records)
+    bench_gatconv(records)
+
+    run = {
+        "benchmark": "segment_kernels",
+        "unix_time": int(time.time()),
+        "records": records,
+    }
+    history = json.loads(RESULTS.read_text()) if RESULTS.exists() else []
+    history.append(run)
+    RESULTS.write_text(json.dumps(history, indent=2) + "\n")
+
+    for r in records:
+        tail = "x".join(map(str, r["tail"])) or "1"
+        print(
+            f"\n{r['kernel']:>16} E={r['E']:>6} tail={tail:>5}: "
+            f"add.at {r['baseline_s'] * 1e3:7.3f} ms, "
+            f"planned {r['planned_s'] * 1e3:7.3f} ms  ({r['speedup']:.2f}x)"
+        )
+
+    # Acceptance: >= 2x on the multi-column segment kernels at E >= 10k,
+    # individually for softmax (the fused sorted-domain kernel) and on
+    # geomean overall.
+    multi = [
+        r["speedup"]
+        for r in records
+        if r["kernel"] in ("segment_sum", "segment_softmax")
+        and r["E"] >= 10_000
+        and r["tail"]
+    ]
+    assert geomean(multi) >= 2.0, f"multi-column speedups too low: {multi}"
+    softmax = [r["speedup"] for r in records if r["kernel"] == "segment_softmax"]
+    assert min(softmax) >= 2.0, f"softmax speedups below 2x: {softmax}"
+    # The end-to-end layer (gathers, exps, matmuls included) must still
+    # come out measurably ahead with a warm plan cache.
+    gat = next(r for r in records if r["kernel"] == "gatconv_fwd_bwd")
+    assert gat["speedup"] > 1.05, f"GATConv speedup {gat['speedup']} not measurable"

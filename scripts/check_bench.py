@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Regression gate over ``results/BENCH_kernels.json``.
+
+Reads the latest run appended by ``benchmarks/test_microbench_kernels.py``
+and fails (exit 1) if the planned segment kernels have regressed to a
+net slowdown: the geomean speedup over the ``np.add.at`` baseline across
+the multi-column records at E >= 10k edges must stay >= the threshold
+(default 1.0x — "plans never lose"; the microbenchmark itself asserts
+the stronger >= 2x acceptance bar when it *records* a run).
+
+Usage:
+    python scripts/check_bench.py [--results results/BENCH_kernels.json]
+                                  [--min-geomean 1.0] [--min-edges 10000]
+
+Wired into pytest as the opt-in ``bench_gate`` marker
+(``benchmarks/test_bench_gate.py``); tier-1 never touches it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+DEFAULT_RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_kernels.json"
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def gate_speedups(history, *, min_edges=10_000):
+    """The speedups the gate judges: multi-column segment kernels of the
+    most recent run at E >= ``min_edges``."""
+    if not history:
+        raise ValueError("benchmark history is empty")
+    latest = history[-1]
+    records = latest.get("records", [])
+    speedups = [
+        float(r["speedup"])
+        for r in records
+        if r.get("kernel") in ("segment_sum", "segment_softmax")
+        and r.get("E", 0) >= min_edges
+        and r.get("tail")  # 1-D add.at has a fast path; plans are a wash there
+    ]
+    if not speedups:
+        raise ValueError(
+            f"no multi-column segment records at E >= {min_edges} in latest run"
+        )
+    return speedups, latest
+
+
+def check(results_path, *, min_geomean=1.0, min_edges=10_000, out=sys.stdout):
+    """Returns 0 when the gate passes, 1 when it fails (or data missing)."""
+    path = Path(results_path)
+    if not path.exists():
+        print(f"check_bench: {path} not found — run the kernels "
+              "microbenchmark first", file=out)
+        return 1
+    try:
+        history = json.loads(path.read_text())
+        speedups, latest = gate_speedups(history, min_edges=min_edges)
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"check_bench: unusable benchmark data: {exc}", file=out)
+        return 1
+    gm = geomean(speedups)
+    stamp = latest.get("unix_time", "?")
+    print(
+        f"check_bench: run@{stamp}: geomean speedup {gm:.2f}x over "
+        f"{len(speedups)} records {sorted(speedups)}", file=out,
+    )
+    if gm < min_geomean:
+        print(
+            f"check_bench: FAIL — geomean {gm:.2f}x below the "
+            f"{min_geomean:.2f}x floor: planned kernels regressed", file=out,
+        )
+        return 1
+    print("check_bench: OK", file=out)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default=str(DEFAULT_RESULTS))
+    parser.add_argument("--min-geomean", type=float, default=1.0)
+    parser.add_argument("--min-edges", type=int, default=10_000)
+    args = parser.parse_args(argv)
+    return check(
+        args.results, min_geomean=args.min_geomean, min_edges=args.min_edges
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

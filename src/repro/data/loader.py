@@ -30,6 +30,7 @@ reports as the loader breakdown.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -39,12 +40,26 @@ from repro import obs
 from repro.data.samplers import Sampler, SequentialSampler, ShuffleSampler
 from repro.data.store import PackedSubgraph, SubgraphStore
 from repro.graph.batch import GraphBatch
+from repro.nn.kernels import PlanCache
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngLike
 
-__all__ = ["DataLoader", "collate_from_store", "warm"]
+__all__ = ["DataLoader", "collate_from_store", "usable_cores", "warm"]
 
 logger = get_logger("data.loader")
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+# One-shot guard for the worker-degrade warning: the condition is a
+# property of the host, so repeating it once per DataLoader is noise.
+_DEGRADE_WARNED = False
 
 # -- worker-side plumbing ---------------------------------------------- #
 # The pool initializer stashes the (task, seed) payload in a module
@@ -108,12 +123,28 @@ def collate_from_store(
             no += nc
             eo += ec
 
+        # The store is append-only, so the same link indices always
+        # collate to array-identical batches: segment plans built for one
+        # epoch's batch are valid for every later epoch's. The PlanCache
+        # itself is lazy — a cache miss costs only the (cheap) shell; the
+        # argsorts happen on first use inside the model.
+        key = indices.tobytes()
+        plans = store.plan_lookup(key)
+        if plans is None:
+            plans = PlanCache(
+                edge_index, n_total, batch=batch, num_graphs=len(indices)
+            )
+            store.plan_store(key, plans)
+            obs.count("data.store.plan_cache.misses")
+        else:
+            obs.count("data.store.plan_cache.hits")
         out = GraphBatch(
             edge_index=edge_index,
             node_features=node_features,
             edge_attr=edge_attr,
             batch=batch,
             num_graphs=len(indices),
+            _plan_cache=plans,
         )
     obs.count("graph.collate.batches")
     obs.count("graph.collate.graphs", float(out.num_graphs))
@@ -138,9 +169,16 @@ class DataLoader:
     rng: seed/stream for the shuffle sampler.
     num_workers: 0 = extract in-process; N > 0 = extract cache misses in
         an N-process pool with chunked dispatch and bounded prefetch.
+        When the process can only run on one core, ``num_workers`` is
+        auto-degraded to 0 — ``results/BENCH_loader.json`` measured the
+        pool as a net slowdown there (speedup 0.853×) — unless
+        ``force_workers`` is set.
     prefetch_factor: chunks kept in flight per worker.
     chunk_size: links per worker chunk (default: an even split that keeps
         every worker busy ``2 * prefetch_factor`` times over).
+    force_workers: keep the requested ``num_workers`` even on a
+        single-core host (tests and benchmarks that exercise the pool
+        itself).
     """
 
     def __init__(
@@ -155,11 +193,24 @@ class DataLoader:
         num_workers: int = 0,
         prefetch_factor: int = 2,
         chunk_size: Optional[int] = None,
+        force_workers: bool = False,
     ):
         if num_workers < 0:
             raise ValueError("num_workers must be non-negative")
         if prefetch_factor < 1:
             raise ValueError("prefetch_factor must be >= 1")
+        if num_workers > 0 and not force_workers and usable_cores() <= 1:
+            global _DEGRADE_WARNED
+            obs.count("data.loader.workers_degraded")
+            if not _DEGRADE_WARNED:
+                _DEGRADE_WARNED = True
+                logger.warning(
+                    "num_workers=%d requested but only 1 usable core: worker "
+                    "processes are a measured net slowdown here, degrading to "
+                    "num_workers=0 (pass force_workers=True to override)",
+                    num_workers,
+                )
+            num_workers = 0
         self.dataset = dataset
         if sampler is None:
             idx = np.arange(len(dataset)) if indices is None else indices

@@ -18,9 +18,13 @@ convention).
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional, Sequence
+from collections import OrderedDict
+from typing import TYPE_CHECKING, NamedTuple, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph -> nn)
+    from repro.nn.kernels import PlanCache
 
 __all__ = ["PackedSubgraph", "StoreInfo", "SubgraphStore"]
 
@@ -52,6 +56,7 @@ class StoreInfo(NamedTuple):
     nodes: int  # node rows in use across all stored subgraphs
     edges: int  # edge columns in use
     nbytes: int  # bytes allocated across every backing buffer
+    plans: int = 0  # batch-composition plan caches retained (LRU-bounded)
 
 
 class SubgraphStore:
@@ -109,6 +114,32 @@ class SubgraphStore:
         self._node_tail = 0
         self._edge_tail = 0
         self._entries = 0
+        # Batch-composition -> PlanCache memo. The store is append-only
+        # (put() never mutates an existing entry), so a batch collated
+        # from the same link indices is array-identical across epochs and
+        # its segment plans can be reused verbatim. LRU-bounded so a
+        # pathological sampler cannot hoard plans without bound.
+        self._plan_cache: "OrderedDict[bytes, PlanCache]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # batch plan cache
+    # ------------------------------------------------------------------ #
+    #: Max distinct batch compositions whose plans are retained.
+    plan_cache_limit: int = 512
+
+    def plan_lookup(self, key: bytes) -> Optional["PlanCache"]:
+        """Plans previously stored for a batch composition key (LRU touch)."""
+        plans = self._plan_cache.get(key)
+        if plans is not None:
+            self._plan_cache.move_to_end(key)
+        return plans
+
+    def plan_store(self, key: bytes, plans: "PlanCache") -> None:
+        """Retain ``plans`` for reuse by later batches with the same key."""
+        self._plan_cache[key] = plans
+        self._plan_cache.move_to_end(key)
+        while len(self._plan_cache) > self.plan_cache_limit:
+            self._plan_cache.popitem(last=False)
 
     # ------------------------------------------------------------------ #
     # membership
@@ -233,4 +264,5 @@ class SubgraphStore:
             nodes=self._node_tail,
             edges=self._edge_tail,
             nbytes=int(nbytes),
+            plans=len(self._plan_cache),
         )

@@ -10,13 +10,14 @@ and per-graph Python dispatch would dominate runtime.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro import obs
 from repro.graph.structure import Graph
+from repro.nn.kernels import PlanCache
 
 __all__ = ["GraphBatch", "collate"]
 
@@ -33,6 +34,11 @@ class GraphBatch:
     batch: ``(N_total,)`` graph id of every node.
     num_graphs: number of member graphs.
     num_nodes: total node count.
+
+    The arrays are immutable by convention: :attr:`plans` memoizes
+    segment-reduction structure derived from them, and
+    :class:`~repro.data.store.SubgraphStore` may share that structure
+    across epochs for batches with identical composition.
     """
 
     edge_index: np.ndarray
@@ -40,6 +46,7 @@ class GraphBatch:
     edge_attr: np.ndarray
     batch: np.ndarray
     num_graphs: int
+    _plan_cache: Optional[PlanCache] = field(default=None, repr=False, compare=False)
 
     @property
     def num_nodes(self) -> int:
@@ -49,8 +56,28 @@ class GraphBatch:
     def num_edges(self) -> int:
         return int(self.edge_index.shape[1])
 
+    @property
+    def plans(self) -> PlanCache:
+        """Lazily built :class:`~repro.nn.kernels.PlanCache` for this batch.
+
+        The first model layer to touch it pays one argsort per index
+        array; every later op, layer and backward pass of the batch —
+        and, via the store's plan cache, every later epoch serving the
+        same batch composition — reuses the precomputed plans.
+        """
+        if self._plan_cache is None:
+            self._plan_cache = PlanCache(
+                self.edge_index,
+                self.num_nodes,
+                batch=self.batch,
+                num_graphs=self.num_graphs,
+            )
+        return self._plan_cache
+
     def nodes_per_graph(self) -> np.ndarray:
         """Node count of each member graph."""
+        if self._plan_cache is not None:
+            return self._plan_cache.node().counts
         return np.bincount(self.batch, minlength=self.num_graphs)
 
 

@@ -24,6 +24,7 @@ from repro.models.dgcnn import DGCNNBackbone
 from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.indexing import gather, segment_softmax, segment_sum
+from repro.nn.kernels import PlanCache
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, as_tensor
 from repro.models.layers import add_self_loops
@@ -83,6 +84,8 @@ class GATv2Conv(Module):
         x: Tensor,
         edge_index: np.ndarray,
         edge_attr: Optional[np.ndarray] = None,
+        *,
+        plans: Optional[PlanCache] = None,
     ) -> Tensor:
         x = as_tensor(x)
         n = x.shape[0]
@@ -93,25 +96,34 @@ class GATv2Conv(Module):
                 f"edge_attr width {edge_attr.shape[1]} != edge_dim {self.edge_dim}"
             )
         if self.add_loops:
-            edge_index, edge_attr = add_self_loops(edge_index, n, edge_attr)
+            if plans is not None:
+                edge_index = plans.loop_edge_index()
+                edge_attr = plans.loop_edge_attr(edge_attr)
+            else:
+                edge_index, edge_attr = add_self_loops(edge_index, n, edge_attr)
+        if plans is not None:
+            src_plan = plans.src(loops=self.add_loops)
+            dst_plan = plans.dst(loops=self.add_loops)
+        else:
+            src_plan = dst_plan = None
         src, dst = edge_index
         e = edge_index.shape[1]
 
         h_src = (x @ self.weight_src).reshape(n, self.heads, self.channels)
         h_dst = (x @ self.weight_dst).reshape(n, self.heads, self.channels)
-        pre = gather(h_src, src) + gather(h_dst, dst)  # (E, H, C)
+        pre = gather(h_src, src, plan=src_plan) + gather(h_dst, dst, plan=dst_plan)  # (E, H, C)
         he = None
         if self.edge_dim > 0:
             he = (Tensor(edge_attr) @ self.edge_weight).reshape(e, self.heads, self.channels)
             pre = pre + he
         # v2: nonlinearity BEFORE the attention dot product.
         logits = (F.leaky_relu(pre, self.negative_slope) * self.att).sum(axis=2)
-        alpha = segment_softmax(logits, dst, n)  # (E, H)
+        alpha = segment_softmax(logits, dst, n, plan=dst_plan)  # (E, H)
 
-        content = gather(h_src, src)
+        content = gather(h_src, src, plan=src_plan)
         if he is not None and self.edge_in_message:
             content = content + he
-        out = segment_sum(content * alpha.reshape(e, self.heads, 1), dst, n)
+        out = segment_sum(content * alpha.reshape(e, self.heads, 1), dst, n, plan=dst_plan)
         out = out.reshape(n, self.out_dim)
         if self.bias is not None:
             out = out + self.bias

@@ -16,6 +16,7 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn.dense import Linear
 from repro.nn.indexing import gather, segment_sum
+from repro.nn.kernels import PlanCache
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, as_tensor
 from repro.utils.rng import RngLike, as_generator
@@ -54,11 +55,15 @@ class GINConv(Module):
         x: Tensor,
         edge_index: np.ndarray,
         edge_attr: Optional[np.ndarray] = None,  # accepted but unused
+        *,
+        plans: Optional[PlanCache] = None,
     ) -> Tensor:
         x = as_tensor(x)
         n = x.shape[0]
         src, dst = edge_index
-        agg = segment_sum(gather(x, src), dst, n)
+        src_plan = plans.src() if plans is not None else None
+        dst_plan = plans.dst() if plans is not None else None
+        agg = segment_sum(gather(x, src, plan=src_plan), dst, n, plan=dst_plan)
         if self.eps is not None:
             h = x * (self.eps + 1.0) + agg
         else:

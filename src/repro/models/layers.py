@@ -26,6 +26,7 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.indexing import gather, segment_softmax, segment_sum
+from repro.nn.kernels import PlanCache
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, as_tensor
 from repro.utils.rng import RngLike, as_generator
@@ -81,18 +82,30 @@ class GCNConv(Module):
         x: Tensor,
         edge_index: np.ndarray,
         edge_attr: Optional[np.ndarray] = None,  # accepted but unused
+        *,
+        plans: Optional[PlanCache] = None,
     ) -> Tensor:
         x = as_tensor(x)
         n = x.shape[0]
-        ei, _ = add_self_loops(edge_index, n)
-        src, dst = ei
-        deg = np.bincount(dst, minlength=n).astype(np.float64)
-        inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1.0))
-        coeff = inv_sqrt[src] * inv_sqrt[dst]  # per-arc normalization
+        if plans is not None:
+            # Loop-augmented topology, degrees and normalization are pure
+            # functions of the batch — reuse them instead of rebuilding.
+            ei = plans.loop_edge_index()
+            src, dst = ei
+            coeff = plans.gcn_coeff()
+            src_plan = plans.src(loops=True)
+            dst_plan = plans.dst(loops=True)
+        else:
+            ei, _ = add_self_loops(edge_index, n)
+            src, dst = ei
+            deg = np.bincount(dst, minlength=n).astype(np.float64)
+            inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1.0))
+            coeff = inv_sqrt[src] * inv_sqrt[dst]  # per-arc normalization
+            src_plan = dst_plan = None
 
         h = x @ self.weight  # (N, out)
-        messages = gather(h, src) * Tensor(coeff[:, None])
-        out = segment_sum(messages, dst, n)
+        messages = gather(h, src, plan=src_plan) * Tensor(coeff[:, None])
+        out = segment_sum(messages, dst, n, plan=dst_plan)
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -193,6 +206,8 @@ class GATConv(Module):
         x: Tensor,
         edge_index: np.ndarray,
         edge_attr: Optional[np.ndarray] = None,
+        *,
+        plans: Optional[PlanCache] = None,
     ) -> Tensor:
         x = as_tensor(x)
         n = x.shape[0]
@@ -204,7 +219,16 @@ class GATConv(Module):
                     f"edge_attr width {edge_attr.shape[1]} != edge_dim {self.edge_dim}"
                 )
         if self.add_loops:
-            edge_index, edge_attr = add_self_loops(edge_index, n, edge_attr)
+            if plans is not None:
+                edge_index = plans.loop_edge_index()
+                edge_attr = plans.loop_edge_attr(edge_attr)
+            else:
+                edge_index, edge_attr = add_self_loops(edge_index, n, edge_attr)
+        if plans is not None:
+            src_plan = plans.src(loops=self.add_loops)
+            dst_plan = plans.dst(loops=self.add_loops)
+        else:
+            src_plan = dst_plan = None
         src, dst = edge_index
         e = edge_index.shape[1]
 
@@ -213,19 +237,21 @@ class GATConv(Module):
         # gathered per arc (cheaper than per-arc projection).
         alpha_src = (h * self.att_src).sum(axis=2)  # (N, H)
         alpha_dst = (h * self.att_dst).sum(axis=2)  # (N, H)
-        logits = gather(alpha_src, src) + gather(alpha_dst, dst)  # (E, H)
+        logits = gather(alpha_src, src, plan=src_plan) + gather(
+            alpha_dst, dst, plan=dst_plan
+        )  # (E, H)
         he = None
         if self.edge_dim > 0:
             he = (Tensor(edge_attr) @ self.edge_weight).reshape(e, self.heads, self.channels)
             logits = logits + (he * self.att_edge).sum(axis=2)
         logits = F.leaky_relu(logits, self.negative_slope)
-        alpha = segment_softmax(logits, dst, n)  # (E, H)
+        alpha = segment_softmax(logits, dst, n, plan=dst_plan)  # (E, H)
 
-        content = gather(h, src)  # (E, H, C)
+        content = gather(h, src, plan=src_plan)  # (E, H, C)
         if he is not None and self.edge_in_message:
             content = content + he
         messages = content * alpha.reshape(e, self.heads, 1)  # (E, H, C)
-        out = segment_sum(messages, dst, n).reshape(n, self.out_dim)
+        out = segment_sum(messages, dst, n, plan=dst_plan).reshape(n, self.out_dim)
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -28,6 +28,7 @@ import numpy as np
 from repro.models.dgcnn import DGCNNBackbone
 from repro.nn import init
 from repro.nn.indexing import gather, segment_count, segment_sum
+from repro.nn.kernels import PlanCache
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, as_tensor
 from repro.utils.rng import RngLike, as_generator
@@ -80,11 +81,15 @@ class RGCNConv(Module):
         x: Tensor,
         edge_index: np.ndarray,
         edge_attr: Optional[np.ndarray] = None,
+        *,
+        plans: Optional[PlanCache] = None,
     ) -> Tensor:
         x = as_tensor(x)
         n = x.shape[0]
         src, dst = edge_index
         e = edge_index.shape[1]
+        src_plan = plans.src() if plans is not None else None
+        dst_plan = plans.dst() if plans is not None else None
         if edge_attr is None or edge_attr.shape[1] == 0:
             # No relation information: every edge uses the uniform mixture.
             edge_attr = np.full((e, self.num_relations), 1.0 / self.num_relations)
@@ -93,7 +98,7 @@ class RGCNConv(Module):
                 f"edge_attr width {edge_attr.shape[1]} != num_relations {self.num_relations}"
             )
 
-        h_src = gather(x, src)  # (E, in)
+        h_src = gather(x, src, plan=src_plan)  # (E, in)
         coeff = Tensor(edge_attr) @ self.comb  # (E, B)
         messages: Optional[Tensor] = None
         for b in range(self.num_bases):
@@ -101,8 +106,11 @@ class RGCNConv(Module):
             hb = h_src @ self.bases[b]
             term = hb * coeff[:, b].reshape(e, 1)
             messages = term if messages is None else messages + term
-        agg = segment_sum(messages, dst, n)
-        degree = np.maximum(segment_count(dst, n), 1.0)[:, None]
+        agg = segment_sum(messages, dst, n, plan=dst_plan)
+        if dst_plan is not None:
+            degree = np.maximum(dst_plan.counts.astype(np.float64), 1.0)[:, None]
+        else:
+            degree = np.maximum(segment_count(dst, n), 1.0)[:, None]
         out = x @ self.weight_self + agg * Tensor(1.0 / degree)
         if self.bias is not None:
             out = out + self.bias

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.indexing import gather, segment_mean
+from repro.nn.kernels import PlanCache
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, as_tensor
 from repro.utils.rng import RngLike, as_generator
@@ -44,11 +45,15 @@ class SAGEConv(Module):
         x: Tensor,
         edge_index: np.ndarray,
         edge_attr: Optional[np.ndarray] = None,  # accepted but unused
+        *,
+        plans: Optional[PlanCache] = None,
     ) -> Tensor:
         x = as_tensor(x)
         n = x.shape[0]
         src, dst = edge_index
-        nbr_mean = segment_mean(gather(x, src), dst, n)
+        src_plan = plans.src() if plans is not None else None
+        dst_plan = plans.dst() if plans is not None else None
+        nbr_mean = segment_mean(gather(x, src, plan=src_plan), dst, n, plan=dst_plan)
         out = x @ self.weight_self + nbr_mean @ self.weight_nbr
         if self.bias is not None:
             out = out + self.bias

@@ -13,16 +13,27 @@ expressed as one ``np.lexsort`` over (graph id, -key).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.nn import kernels
 from repro.nn.indexing import gather
+from repro.nn.kernels import SegmentPlan
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, as_tensor
 
 __all__ = ["SortPooling", "sort_pool"]
 
 
-def sort_pool(x: Tensor, batch: np.ndarray, num_graphs: int, k: int) -> Tensor:
+def sort_pool(
+    x: Tensor,
+    batch: np.ndarray,
+    num_graphs: int,
+    k: int,
+    *,
+    plan: Optional[SegmentPlan] = None,
+) -> Tensor:
     """Sort-pool node embeddings into ``(num_graphs, k, F)``.
 
     Parameters
@@ -31,6 +42,9 @@ def sort_pool(x: Tensor, batch: np.ndarray, num_graphs: int, k: int) -> Tensor:
     batch: ``(N,)`` graph id per node.
     num_graphs: number of graphs ``B``.
     k: retained nodes per graph.
+    plan: optional :class:`SegmentPlan` over ``(batch, num_graphs)`` —
+        supplies the per-graph counts/starts without re-deriving them.
+        The per-graph key sort is data-dependent and always recomputed.
     """
     x = as_tensor(x)
     if k <= 0:
@@ -44,8 +58,14 @@ def sort_pool(x: Tensor, batch: np.ndarray, num_graphs: int, k: int) -> Tensor:
     # Rows grouped by graph, descending key inside each graph. lexsort
     # sorts by last key first, so order: primary batch, secondary -key.
     order = np.lexsort((-key, batch))
-    counts = np.bincount(batch, minlength=num_graphs)
-    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    plan = kernels.resolve_plan(plan)
+    if plan is not None:
+        plan.check(batch, num_graphs)
+        counts = plan.counts
+        starts = plan.indptr[:-1]
+    else:
+        counts = np.bincount(batch, minlength=num_graphs)
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
 
     # Selection matrix (B, k): row indices into `order`, -1 where padded.
     offsets = np.arange(k)[None, :]
@@ -68,8 +88,15 @@ class SortPooling(Module):
             raise ValueError("k must be positive")
         self.k = k
 
-    def forward(self, x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
-        return sort_pool(x, batch, num_graphs, self.k)
+    def forward(
+        self,
+        x: Tensor,
+        batch: np.ndarray,
+        num_graphs: int,
+        *,
+        plan: Optional[SegmentPlan] = None,
+    ) -> Tensor:
+        return sort_pool(x, batch, num_graphs, self.k, plan=plan)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SortPooling(k={self.k})"

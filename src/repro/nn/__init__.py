@@ -8,9 +8,17 @@ Public surface::
 
 from repro.nn import functional
 from repro.nn import init
+from repro.nn import kernels
 from repro.nn.conv import Conv1d, MaxPool1d
 from repro.nn.dense import MLP, Dropout, Linear
 from repro.nn.gradcheck import gradcheck, numeric_grad
+from repro.nn.kernels import (
+    PlanCache,
+    SegmentPlan,
+    plans_enabled,
+    set_plans_enabled,
+    use_plans,
+)
 from repro.nn.indexing import (
     gather,
     scatter_add,
@@ -47,6 +55,12 @@ __all__ = [
     "MaxPool1d",
     "LayerNorm",
     "BatchNorm1d",
+    "kernels",
+    "SegmentPlan",
+    "PlanCache",
+    "plans_enabled",
+    "set_plans_enabled",
+    "use_plans",
     "gather",
     "scatter_add",
     "segment_sum",

@@ -14,6 +14,14 @@ Python-level loops over edges).
 
 ``segment_softmax`` implements the per-destination normalization of GAT
 attention coefficients with a numerically stable per-segment max shift.
+
+Every op accepts an optional ``plan`` — a precomputed
+:class:`~repro.nn.kernels.SegmentPlan` over its index array. With a plan
+the scatter-style reductions run as contiguous kernels (bincount / CSR
+matmul / sorted ``reduceat``, see :mod:`repro.nn.kernels`) that are
+bit-identical to the ``np.add.at`` fallback used when ``plan`` is
+``None`` or plans are globally disabled. The fallback stays in place as
+the oracle the planned paths are validated against.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn import kernels
+from repro.nn.kernels import SegmentPlan
 from repro.nn.tensor import Tensor, as_tensor
 
 __all__ = [
@@ -44,13 +54,27 @@ def _check_index(index: np.ndarray) -> np.ndarray:
     return index
 
 
-def gather(x: Tensor, index: np.ndarray) -> Tensor:
+def _active_plan(
+    plan: Optional[SegmentPlan], index: np.ndarray, num_segments: int
+) -> Optional[SegmentPlan]:
+    """Validate and return the plan to use (None when globally disabled)."""
+    plan = kernels.resolve_plan(plan)
+    if plan is not None:
+        plan.check(index, num_segments)
+    return plan
+
+
+def gather(
+    x: Tensor, index: np.ndarray, *, plan: Optional[SegmentPlan] = None
+) -> Tensor:
     """Select rows ``x[index]`` (differentiable; dual of scatter_add).
 
     Parameters
     ----------
     x: Tensor of shape ``(N, ...)``.
     index: integer array of shape ``(M,)`` with values in ``[0, N)``.
+    plan: optional :class:`SegmentPlan` over ``(index, N)`` — routes the
+        backward scatter-add through the planned kernel.
 
     Returns
     -------
@@ -58,10 +82,15 @@ def gather(x: Tensor, index: np.ndarray) -> Tensor:
     """
     x = as_tensor(x)
     index = _check_index(index)
-    out = x.data[index]
+    # np.take's contiguous row-copy path is several times faster than
+    # fancy indexing for 2-D+ operands; identical elements either way.
+    out = np.take(x.data, index, axis=0)
     shape = x.data.shape
+    plan = _active_plan(plan, index, shape[0])
 
     def vjp(g: np.ndarray) -> np.ndarray:
+        if plan is not None:
+            return plan.segment_sum(g)
         full = np.zeros(shape, dtype=np.float64)
         np.add.at(full, index, g)
         return full
@@ -69,16 +98,28 @@ def gather(x: Tensor, index: np.ndarray) -> Tensor:
     return Tensor._from_op(out, (x,), (vjp,), "gather")
 
 
-def scatter_add(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def scatter_add(
+    x: Tensor,
+    index: np.ndarray,
+    num_segments: int,
+    *,
+    plan: Optional[SegmentPlan] = None,
+) -> Tensor:
     """Sum rows of ``x`` into ``num_segments`` output slots by ``index``.
 
     ``out[s] = sum_{i : index[i]==s} x[i]``. Alias of :func:`segment_sum`
     but named for the scatter view of the same computation.
     """
-    return segment_sum(x, index, num_segments)
+    return segment_sum(x, index, num_segments, plan=plan)
 
 
-def segment_sum(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(
+    x: Tensor,
+    index: np.ndarray,
+    num_segments: int,
+    *,
+    plan: Optional[SegmentPlan] = None,
+) -> Tensor:
     """Segmented sum: aggregate per-edge values onto nodes.
 
     Parameters
@@ -86,6 +127,7 @@ def segment_sum(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     x: Tensor of shape ``(E, ...)`` — one row per edge.
     index: destination segment of each row, shape ``(E,)``.
     num_segments: number of output rows ``N``.
+    plan: optional :class:`SegmentPlan` over ``(index, N)``.
 
     Returns
     -------
@@ -97,8 +139,12 @@ def segment_sum(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
         raise ValueError("index length must match the leading dim of x")
     if index.size and (index.min() < 0 or index.max() >= num_segments):
         raise ValueError("index out of range for num_segments")
-    out = np.zeros((num_segments,) + x.data.shape[1:], dtype=np.float64)
-    np.add.at(out, index, x.data)
+    plan = _active_plan(plan, index, num_segments)
+    if plan is not None:
+        out = plan.segment_sum(x.data)
+    else:
+        out = np.zeros((num_segments,) + x.data.shape[1:], dtype=np.float64)
+        np.add.at(out, index, x.data)
 
     def vjp(g: np.ndarray) -> np.ndarray:
         return g[index]
@@ -112,15 +158,32 @@ def segment_count(index: np.ndarray, num_segments: int) -> np.ndarray:
     return np.bincount(index, minlength=num_segments).astype(np.float64)
 
 
-def segment_mean(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def segment_mean(
+    x: Tensor,
+    index: np.ndarray,
+    num_segments: int,
+    *,
+    plan: Optional[SegmentPlan] = None,
+) -> Tensor:
     """Segmented mean; empty segments yield zero (not NaN)."""
-    sums = segment_sum(x, index, num_segments)
-    counts = np.maximum(segment_count(index, num_segments), 1.0)
+    sums = segment_sum(x, index, num_segments, plan=plan)
+    active = kernels.resolve_plan(plan)
+    if active is not None:
+        counts = np.maximum(active.counts.astype(np.float64), 1.0)
+    else:
+        counts = np.maximum(segment_count(index, num_segments), 1.0)
     counts = counts.reshape((num_segments,) + (1,) * (sums.ndim - 1))
     return sums * Tensor(1.0 / counts)
 
 
-def segment_max(x: Tensor, index: np.ndarray, num_segments: int, fill: float = 0.0) -> Tensor:
+def segment_max(
+    x: Tensor,
+    index: np.ndarray,
+    num_segments: int,
+    fill: float = 0.0,
+    *,
+    plan: Optional[SegmentPlan] = None,
+) -> Tensor:
     """Segmented max; empty segments are filled with ``fill``.
 
     Gradient flows to (one of) the argmax rows of each segment — ties are
@@ -130,9 +193,15 @@ def segment_max(x: Tensor, index: np.ndarray, num_segments: int, fill: float = 0
     x = as_tensor(x)
     index = _check_index(index)
     data = x.data
-    out = np.full((num_segments,) + data.shape[1:], -np.inf, dtype=np.float64)
-    np.maximum.at(out, index, data)
-    empty = ~np.isin(np.arange(num_segments), index)
+    plan = _active_plan(plan, index, num_segments)
+    if plan is not None:
+        out = plan.segment_max(data)
+        empty = plan.empty
+    else:
+        out = np.full((num_segments,) + data.shape[1:], -np.inf, dtype=np.float64)
+        np.maximum.at(out, index, data)
+        # One bincount instead of an np.isin allocation-and-scan per call.
+        empty = np.bincount(index, minlength=num_segments) == 0
     if empty.any():
         out[empty] = fill
 
@@ -145,8 +214,11 @@ def segment_max(x: Tensor, index: np.ndarray, num_segments: int, fill: float = 0
         gathered = g[index]
         # For duplicate maxima in a segment, split gradient equally: this
         # is a valid subgradient and keeps the op deterministic.
-        counts = np.zeros_like(out)
-        np.add.at(counts, index, is_max.astype(np.float64))
+        if plan is not None:
+            counts = plan.segment_sum(is_max.astype(np.float64))
+        else:
+            counts = np.zeros_like(out)
+            np.add.at(counts, index, is_max.astype(np.float64))
         denom = np.where(counts[index] > 0, counts[index], 1.0)
         grad[is_max] = (gathered / denom)[is_max]
         return grad
@@ -154,7 +226,13 @@ def segment_max(x: Tensor, index: np.ndarray, num_segments: int, fill: float = 0
     return Tensor._from_op(out, (x,), (vjp,), "segment_max")
 
 
-def segment_softmax(logits: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def segment_softmax(
+    logits: Tensor,
+    index: np.ndarray,
+    num_segments: int,
+    *,
+    plan: Optional[SegmentPlan] = None,
+) -> Tensor:
     """Softmax normalized within each segment (GAT attention normalizer).
 
     ``out[i] = exp(logits[i] - m[s_i]) / sum_{j in segment s_i} exp(...)``
@@ -165,6 +243,8 @@ def segment_softmax(logits: Tensor, index: np.ndarray, num_segments: int) -> Ten
     logits: Tensor of shape ``(E,)`` or ``(E, H)`` (multi-head).
     index: segment (destination node) of each row, shape ``(E,)``.
     num_segments: number of segments ``N``.
+    plan: optional :class:`SegmentPlan` over ``(index, N)`` — the max
+        shift, the normalizer and the backward reduction all reuse it.
 
     Returns
     -------
@@ -174,22 +254,29 @@ def segment_softmax(logits: Tensor, index: np.ndarray, num_segments: int) -> Ten
     logits = as_tensor(logits)
     index = _check_index(index)
     data = logits.data
-    # Per-segment max for numerical stability (constant wrt gradient).
-    seg_max = np.full((num_segments,) + data.shape[1:], -np.inf, dtype=np.float64)
-    np.maximum.at(seg_max, index, data)
-    seg_max[~np.isfinite(seg_max)] = 0.0  # empty segments
-    shifted = data - seg_max[index]
-    expd = np.exp(shifted)
-    denom = np.zeros_like(seg_max)
-    np.add.at(denom, index, expd)
-    denom = np.where(denom > 0, denom, 1.0)
-    out = expd / denom[index]
+    plan = _active_plan(plan, index, num_segments)
+    if plan is not None:
+        # Fused sorted-domain kernel (bit-identical — see SegmentPlan).
+        out = plan.segment_softmax(data)
+    else:
+        # Per-segment max for numerical stability (constant wrt gradient).
+        seg_max = np.full((num_segments,) + data.shape[1:], -np.inf, dtype=np.float64)
+        np.maximum.at(seg_max, index, data)
+        seg_max[~np.isfinite(seg_max)] = 0.0  # empty segments
+        expd = np.exp(data - seg_max[index])
+        denom = np.zeros_like(seg_max)
+        np.add.at(denom, index, expd)
+        denom = np.where(denom > 0, denom, 1.0)
+        out = expd / denom[index]
 
     def vjp(g: np.ndarray) -> np.ndarray:
         # d softmax: out * (g - sum_segment(g * out))
         weighted = g * out
-        seg_dot = np.zeros_like(seg_max)
-        np.add.at(seg_dot, index, weighted)
+        if plan is not None:
+            seg_dot = plan.segment_sum(weighted)
+        else:
+            seg_dot = np.zeros_like(seg_max)
+            np.add.at(seg_dot, index, weighted)
         return out * (g - seg_dot[index])
 
     return Tensor._from_op(out, (logits,), (vjp,), "segment_softmax")

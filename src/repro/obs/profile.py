@@ -18,7 +18,9 @@ The JSON report's ``phases`` section is the per-leaf breakdown
 ``collate`` / ``queue-wait`` — the last one is the parent blocking on
 worker results when ``--workers N`` is set); ``cache`` is the
 :meth:`SEALDataset.cache_info` view proving the second epoch onward is
-extraction-free.
+extraction-free; ``kernels`` reports the segment-plan engine — plans
+built, plan-cache hit rates (per-batch and store-level) and per-kernel
+timers.
 """
 
 from __future__ import annotations
@@ -111,6 +113,37 @@ def run_profile(
 
     leaf_totals = registry.leaf_totals()
     leaf_counts = registry.leaf_counts()
+    counters = dict(registry.counters)
+    plan_hits = counters.get("kernels.plan_cache.hits", 0.0)
+    plan_misses = counters.get("kernels.plan_cache.misses", 0.0)
+    plan_lookups = plan_hits + plan_misses
+    store_hits = counters.get("data.store.plan_cache.hits", 0.0)
+    store_misses = counters.get("data.store.plan_cache.misses", 0.0)
+    store_lookups = store_hits + store_misses
+    kernels_report = {
+        "plans_built": counters.get("kernels.plan.built", 0.0),
+        "plan_cache": {
+            "hits": plan_hits,
+            "misses": plan_misses,
+            "hit_rate": plan_hits / plan_lookups if plan_lookups else 0.0,
+        },
+        "store_plan_cache": {
+            "hits": store_hits,
+            "misses": store_misses,
+            "hit_rate": store_hits / store_lookups if store_lookups else 0.0,
+        },
+        "timers": {
+            name: {
+                "seconds": leaf_totals.get(name, 0.0),
+                "calls": leaf_counts.get(name, 0),
+            }
+            for name in (
+                "kernel.segment_sum",
+                "kernel.segment_max",
+                "kernel.segment_softmax",
+            )
+        },
+    }
     return {
         "workload": {
             "dataset": dataset,
@@ -139,7 +172,8 @@ def run_profile(
             for name in ("extraction", "collate", "queue-wait")
         },
         "cache": cache._asdict(),
-        "counters": dict(registry.counters),
+        "kernels": kernels_report,
+        "counters": counters,
         "snapshot": registry.snapshot(),
     }
 

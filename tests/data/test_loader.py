@@ -19,6 +19,13 @@ def task():
     return load_primekg_like(scale=0.12, num_targets=40, rng=0)
 
 
+@pytest.fixture
+def multicore(monkeypatch):
+    """Pretend the host has cores to spare so worker tests exercise the
+    real pool even on single-core CI boxes (see worker auto-degrade)."""
+    monkeypatch.setattr(loader_mod, "usable_cores", lambda: 4)
+
+
 def fresh_dataset(task):
     return SEALDataset(task, rng=7)
 
@@ -48,7 +55,7 @@ def assert_streams_equal(a, b):
 
 
 class TestParallelBitIdentity:
-    def test_shuffled_epochs_identical_across_worker_counts(self, task):
+    def test_shuffled_epochs_identical_across_worker_counts(self, task, multicore):
         serial = DataLoader(fresh_dataset(task), batch_size=8, shuffle=True, rng=3)
         with DataLoader(
             fresh_dataset(task), batch_size=8, shuffle=True, rng=3, num_workers=2
@@ -57,7 +64,7 @@ class TestParallelBitIdentity:
                 batch_stream(serial, epochs=2), batch_stream(parallel, epochs=2)
             )
 
-    def test_cache_accounting_matches_serial(self, task):
+    def test_cache_accounting_matches_serial(self, task, multicore):
         ds = fresh_dataset(task)
         with DataLoader(ds, batch_size=8, num_workers=2) as loader:
             batch_stream(loader, epochs=2)
@@ -65,7 +72,7 @@ class TestParallelBitIdentity:
         assert info.misses == task.num_links  # extracted exactly once each
         assert info.size == info.capacity == task.num_links
 
-    def test_trained_weights_identical_across_worker_counts(self, task):
+    def test_trained_weights_identical_across_worker_counts(self, task, multicore):
         def run(num_workers):
             ds = fresh_dataset(task)
             tr, te = train_test_split_indices(
@@ -103,7 +110,7 @@ class TestParallelBitIdentity:
 
 
 class TestFallback:
-    def test_worker_crash_falls_back_to_serial(self, task, monkeypatch):
+    def test_worker_crash_falls_back_to_serial(self, task, monkeypatch, multicore):
         def boom(chunk):
             raise RuntimeError("worker exploded")
 
@@ -115,7 +122,7 @@ class TestFallback:
             assert loader._pool_broken
         assert_streams_equal(expected, got)
 
-    def test_pool_creation_failure_falls_back(self, task, monkeypatch):
+    def test_pool_creation_failure_falls_back(self, task, monkeypatch, multicore):
         def no_pool(self):
             raise OSError("no processes for you")
 
@@ -124,6 +131,52 @@ class TestFallback:
         with DataLoader(fresh_dataset(task), batch_size=8, num_workers=2) as loader:
             got = batch_stream(loader)
         assert_streams_equal(expected, got)
+
+
+class TestWorkerDegrade:
+    """num_workers auto-degrades to 0 on single-core hosts (BENCH_loader
+    measured the pool as a net slowdown there)."""
+
+    def test_degrades_to_serial_on_one_core(self, task, monkeypatch):
+        from repro import obs
+
+        monkeypatch.setattr(loader_mod, "usable_cores", lambda: 1)
+        monkeypatch.setattr(loader_mod, "_DEGRADE_WARNED", False)
+        with obs.capture() as registry:
+            loader = DataLoader(fresh_dataset(task), batch_size=8, num_workers=2)
+        assert loader.num_workers == 0
+        assert registry.counters.get("data.loader.workers_degraded") == 1.0
+        # Degraded loaders run the serial path end to end.
+        batch_stream(loader)
+
+    def test_warning_is_one_shot(self, task, monkeypatch):
+        calls = []
+        monkeypatch.setattr(loader_mod, "usable_cores", lambda: 1)
+        monkeypatch.setattr(loader_mod, "_DEGRADE_WARNED", False)
+        monkeypatch.setattr(
+            loader_mod.logger, "warning", lambda *a, **k: calls.append(a)
+        )
+        DataLoader(fresh_dataset(task), batch_size=8, num_workers=2)
+        DataLoader(fresh_dataset(task), batch_size=8, num_workers=2)
+        assert len(calls) == 1
+
+    def test_force_workers_overrides(self, task, monkeypatch):
+        monkeypatch.setattr(loader_mod, "usable_cores", lambda: 1)
+        loader = DataLoader(
+            fresh_dataset(task), batch_size=8, num_workers=2, force_workers=True
+        )
+        try:
+            assert loader.num_workers == 2
+        finally:
+            loader.close()
+
+    def test_no_degrade_with_spare_cores(self, task, monkeypatch):
+        monkeypatch.setattr(loader_mod, "usable_cores", lambda: 4)
+        loader = DataLoader(fresh_dataset(task), batch_size=8, num_workers=2)
+        try:
+            assert loader.num_workers == 2
+        finally:
+            loader.close()
 
 
 class TestWarm:
@@ -160,6 +213,39 @@ class TestCollateFromStore:
         ds = fresh_dataset(task)
         with pytest.raises(ValueError):
             collate_from_store(ds.store, np.array([], dtype=np.int64))
+
+    def test_plan_cache_shared_across_epochs(self, task):
+        from repro import obs
+
+        ds = fresh_dataset(task)
+        idx = np.arange(10)
+        for i in idx:
+            ds.ensure(int(i))
+        with obs.capture() as registry:
+            b1 = collate_from_store(ds.store, idx, edge_attr_dim=task.edge_attr_dim)
+            b2 = collate_from_store(ds.store, idx, edge_attr_dim=task.edge_attr_dim)
+            b3 = collate_from_store(
+                ds.store, idx[::-1].copy(), edge_attr_dim=task.edge_attr_dim
+            )
+        # Same composition → same PlanCache object; different → its own.
+        assert b1.plans is b2.plans
+        assert b3.plans is not b1.plans
+        assert registry.counters["data.store.plan_cache.hits"] == 1.0
+        assert registry.counters["data.store.plan_cache.misses"] == 2.0
+        assert ds.store.cache_info().plans == 2
+
+    def test_plan_cache_is_bounded_and_cleared(self, task):
+        ds = fresh_dataset(task)
+        for i in range(12):
+            ds.ensure(i)
+        ds.store.plan_cache_limit = 3
+        for i in range(8):
+            collate_from_store(
+                ds.store, np.array([i, i + 1]), edge_attr_dim=task.edge_attr_dim
+            )
+        assert ds.store.cache_info().plans == 3
+        ds.store.clear()
+        assert ds.store.cache_info().plans == 0
 
 
 class TestStratifiedLoader:

@@ -1,0 +1,378 @@
+"""Segment-kernel engine: plan invariants, bit-identity vs the np.add.at
+oracle (forward AND backward), gradchecks on the planned paths, and the
+plan caches (per-batch and store-level)."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.nn import kernels
+from repro.nn.gradcheck import gradcheck
+from repro.nn.indexing import (
+    gather,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
+from repro.nn.kernels import PlanCache, SegmentPlan, use_plans
+from repro.nn.tensor import Tensor
+
+
+def randn(*shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+# Index fixtures covering the tricky structures: empty segments (1, 4),
+# single-edge segments (3), duplicated rows, and unsorted order.
+IDX = np.array([2, 0, 2, 5, 0, 3, 5, 5])
+NSEG = 6
+
+
+def backward_grad(op, x, *, plan, seed=9):
+    """Bitwise-comparable input gradient of `sum(op(...) * w)`."""
+    x.grad = None
+    out = op(x, plan=plan)
+    w = randn(*out.shape, seed=seed)
+    (out * Tensor(w)).sum().backward()
+    return x.grad
+
+
+class TestSegmentPlanInvariants:
+    def test_counts_indptr_order_starts(self):
+        plan = SegmentPlan(IDX, NSEG)
+        np.testing.assert_array_equal(plan.counts, np.bincount(IDX, minlength=NSEG))
+        np.testing.assert_array_equal(plan.indptr, [0, 2, 2, 4, 5, 5, 8])
+        # Stable argsort: within each segment, rows keep original order.
+        np.testing.assert_array_equal(plan.order, [1, 4, 0, 2, 5, 3, 6, 7])
+        np.testing.assert_array_equal(plan.empty, [False, True, False, False, True, False])
+        np.testing.assert_array_equal(plan.starts, [0, 2, 4, 5])
+
+    def test_presorted_index_skips_argsort(self):
+        idx = np.array([0, 0, 1, 3, 3])
+        plan = SegmentPlan(idx, 4)
+        assert plan.is_sorted
+        np.testing.assert_array_equal(plan.order, np.arange(5))
+
+    def test_rejects_bad_indices(self):
+        with pytest.raises(TypeError):
+            SegmentPlan(np.array([0.5]), 2)
+        with pytest.raises(ValueError):
+            SegmentPlan(np.array([[0], [1]]), 2)
+        with pytest.raises(ValueError):
+            SegmentPlan(np.array([0, 7]), 3)
+
+    def test_check_rejects_mismatched_shapes(self):
+        plan = SegmentPlan(IDX, NSEG)
+        with pytest.raises(ValueError):
+            plan.check(IDX[:-1], NSEG)
+        with pytest.raises(ValueError):
+            plan.check(IDX, NSEG + 1)
+        plan.check(IDX, NSEG)  # matching contract passes
+
+    def test_empty_index(self):
+        plan = SegmentPlan(np.array([], dtype=np.int64), 3)
+        np.testing.assert_array_equal(plan.segment_sum(np.empty((0, 2))), np.zeros((3, 2)))
+        assert plan.empty.all()
+
+
+class TestBitIdentityForward:
+    """Planned kernels must produce the exact same floats as np.add.at."""
+
+    @pytest.mark.parametrize("tail", [(), (1,), (7,), (2, 3)])
+    def test_segment_sum(self, tail):
+        x = Tensor(randn(len(IDX), *tail, seed=3))
+        plan = SegmentPlan(IDX, NSEG)
+        planned = segment_sum(x, IDX, NSEG, plan=plan).data
+        with use_plans(False):
+            oracle = segment_sum(x, IDX, NSEG, plan=plan).data
+        np.testing.assert_array_equal(planned, oracle)
+
+    @pytest.mark.parametrize("tail", [(), (4,)])
+    def test_segment_max(self, tail):
+        x = Tensor(randn(len(IDX), *tail, seed=4))
+        plan = SegmentPlan(IDX, NSEG)
+        planned = segment_max(x, IDX, NSEG, fill=-1.5, plan=plan).data
+        with use_plans(False):
+            oracle = segment_max(x, IDX, NSEG, fill=-1.5, plan=plan).data
+        np.testing.assert_array_equal(planned, oracle)
+
+    @pytest.mark.parametrize("tail", [(), (3,)])
+    def test_segment_softmax(self, tail):
+        logits = Tensor(randn(len(IDX), *tail, seed=5))
+        plan = SegmentPlan(IDX, NSEG)
+        planned = segment_softmax(logits, IDX, NSEG, plan=plan).data
+        with use_plans(False):
+            oracle = segment_softmax(logits, IDX, NSEG, plan=plan).data
+        np.testing.assert_array_equal(planned, oracle)
+
+    def test_segment_mean(self):
+        x = Tensor(randn(len(IDX), 3, seed=6))
+        plan = SegmentPlan(IDX, NSEG)
+        planned = segment_mean(x, IDX, NSEG, plan=plan).data
+        with use_plans(False):
+            oracle = segment_mean(x, IDX, NSEG, plan=plan).data
+        np.testing.assert_array_equal(planned, oracle)
+
+    def test_single_edge_segments_only(self):
+        idx = np.array([2, 0, 1])
+        plan = SegmentPlan(idx, 3)
+        x = Tensor(randn(3, 2, seed=7))
+        planned = segment_softmax(x, idx, 3, plan=plan).data
+        np.testing.assert_array_equal(planned, np.ones((3, 2)))
+
+    def test_no_scipy_fallback_matches(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_sparse", None)
+        plan = SegmentPlan(IDX, NSEG)
+        data = randn(len(IDX), 5, seed=8)
+        oracle = np.zeros((NSEG, 5))
+        np.add.at(oracle, IDX, data)
+        np.testing.assert_array_equal(plan.segment_sum(data), oracle)
+
+
+class TestBitIdentityBackward:
+    """The planned VJPs must match the np.add.at VJPs bit for bit."""
+
+    @pytest.mark.parametrize("tail", [(), (7,), (2, 3)])
+    def test_gather_backward(self, tail):
+        plan = SegmentPlan(IDX, NSEG)
+
+        def op(x, plan):
+            return gather(x, IDX, plan=plan)
+
+        x1 = Tensor(randn(NSEG, *tail, seed=1), requires_grad=True)
+        x2 = Tensor(x1.data.copy(), requires_grad=True)
+        g_planned = backward_grad(op, x1, plan=plan)
+        with use_plans(False):
+            g_oracle = backward_grad(op, x2, plan=plan)
+        np.testing.assert_array_equal(g_planned, g_oracle)
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda x, plan: segment_sum(x, IDX, NSEG, plan=plan),
+            lambda x, plan: segment_max(x, IDX, NSEG, plan=plan),
+            lambda x, plan: segment_softmax(x, IDX, NSEG, plan=plan),
+            lambda x, plan: segment_mean(x, IDX, NSEG, plan=plan),
+        ],
+        ids=["sum", "max", "softmax", "mean"],
+    )
+    @pytest.mark.parametrize("tail", [(), (4,)])
+    def test_segment_ops_backward(self, op, tail):
+        plan = SegmentPlan(IDX, NSEG)
+        x1 = Tensor(randn(len(IDX), *tail, seed=2), requires_grad=True)
+        x2 = Tensor(x1.data.copy(), requires_grad=True)
+        g_planned = backward_grad(op, x1, plan=plan)
+        with use_plans(False):
+            g_oracle = backward_grad(op, x2, plan=plan)
+        np.testing.assert_array_equal(g_planned, g_oracle)
+
+    def test_max_duplicate_maxima_split_identically(self):
+        idx = np.array([0, 0, 0, 1])
+        data = np.array([2.0, 2.0, 1.0, 3.0])  # tie in segment 0
+        plan = SegmentPlan(idx, 2)
+
+        def op(x, plan):
+            return segment_max(x, idx, 2, plan=plan)
+
+        x1 = Tensor(data.copy(), requires_grad=True)
+        x2 = Tensor(data.copy(), requires_grad=True)
+        g_planned = backward_grad(op, x1, plan=plan)
+        with use_plans(False):
+            g_oracle = backward_grad(op, x2, plan=plan)
+        np.testing.assert_array_equal(g_planned, g_oracle)
+
+
+class TestPlannedGradchecks:
+    """Finite-difference checks run THROUGH the planned kernels."""
+
+    def test_gather(self):
+        plan = SegmentPlan(IDX, NSEG)
+        x = Tensor(randn(NSEG, 3, seed=11), requires_grad=True)
+        gradcheck(lambda a: (gather(a, IDX, plan=plan) ** 2).sum(), [x])
+
+    def test_segment_sum(self):
+        plan = SegmentPlan(IDX, NSEG)
+        x = Tensor(randn(len(IDX), 2, seed=12), requires_grad=True)
+        gradcheck(lambda a: (segment_sum(a, IDX, NSEG, plan=plan) ** 2).sum(), [x])
+
+    def test_segment_mean(self):
+        plan = SegmentPlan(IDX, NSEG)
+        x = Tensor(randn(len(IDX), 2, seed=13), requires_grad=True)
+        gradcheck(lambda a: (segment_mean(a, IDX, NSEG, plan=plan) ** 2).sum(), [x])
+
+    def test_segment_max(self):
+        plan = SegmentPlan(IDX, NSEG)
+        x = Tensor(randn(len(IDX), 2, seed=14), requires_grad=True)
+        gradcheck(lambda a: (segment_max(a, IDX, NSEG, plan=plan) ** 2).sum(), [x])
+
+    def test_segment_softmax_multihead(self):
+        plan = SegmentPlan(IDX, NSEG)
+        logits = Tensor(randn(len(IDX), 3, seed=15), requires_grad=True)
+        gradcheck(
+            lambda a: (segment_softmax(a, IDX, NSEG, plan=plan) ** 2).sum(), [logits]
+        )
+
+
+class TestGlobalToggle:
+    def test_use_plans_restores_previous_state(self):
+        assert kernels.plans_enabled()
+        with use_plans(False):
+            assert not kernels.plans_enabled()
+            with use_plans(True):
+                assert kernels.plans_enabled()
+            assert not kernels.plans_enabled()
+        assert kernels.plans_enabled()
+
+    def test_resolve_plan_none_when_disabled(self):
+        plan = SegmentPlan(IDX, NSEG)
+        assert kernels.resolve_plan(plan) is plan
+        with use_plans(False):
+            assert kernels.resolve_plan(plan) is None
+
+
+class TestPlanCache:
+    def edge_index(self):
+        return np.array([[0, 1, 2, 2, 3], [1, 0, 3, 1, 0]])
+
+    def test_accessors_memoize(self):
+        cache = PlanCache(self.edge_index(), 4)
+        with obs.capture() as registry:
+            p1 = cache.dst()
+            p2 = cache.dst()
+            p3 = cache.dst(loops=True)
+        assert p1 is p2
+        assert p3 is not p1
+        assert registry.counters["kernels.plan_cache.hits"] == 1.0
+        # dst(), dst(loops=True) and the loop edge index each miss once.
+        assert registry.counters["kernels.plan_cache.misses"] == 3.0
+
+    def test_loop_edge_index_matches_add_self_loops(self):
+        from repro.models.layers import add_self_loops
+
+        ei = self.edge_index()
+        cache = PlanCache(ei, 4)
+        expected, _ = add_self_loops(ei, 4)
+        np.testing.assert_array_equal(cache.loop_edge_index(), expected)
+        assert cache.loop_edge_index() is cache.loop_edge_index()
+
+    def test_gcn_coeff_matches_manual(self):
+        ei = self.edge_index()
+        cache = PlanCache(ei, 4)
+        src, dst = cache.loop_edge_index()
+        deg = np.bincount(dst, minlength=4).astype(np.float64)
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1.0))
+        np.testing.assert_array_equal(cache.gcn_coeff(), inv_sqrt[src] * inv_sqrt[dst])
+
+    def test_loop_edge_attr_sees_inplace_mutation(self):
+        cache = PlanCache(self.edge_index(), 4)
+        attr = randn(5, 3, seed=21)
+        first = cache.loop_edge_attr(attr)
+        attr[:] = 0.0
+        second = cache.loop_edge_attr(attr)
+        assert first.shape == second.shape == (9, 3)
+        np.testing.assert_array_equal(second[:5], 0.0)
+        assert cache.loop_edge_attr(None) is None
+
+    def test_node_plan_requires_batch_vector(self):
+        cache = PlanCache(self.edge_index(), 4)
+        with pytest.raises(ValueError):
+            cache.node()
+        with_batch = PlanCache(
+            self.edge_index(), 4, batch=np.array([0, 0, 1, 1]), num_graphs=2
+        )
+        np.testing.assert_array_equal(with_batch.node().counts, [2, 2])
+
+
+class TestConvBitIdentity:
+    """GCNConv / GATConv: planned forward+backward == unplanned, bitwise."""
+
+    def make_graph(self, n=9, e=24, attr_dim=3, seed=31):
+        gen = np.random.default_rng(seed)
+        ei = gen.integers(0, n, size=(2, e))
+        x = gen.normal(size=(n, 5))
+        attr = gen.normal(size=(e, attr_dim))
+        return ei, x, attr
+
+    def run_conv(self, conv, x, ei, attr, plans):
+        conv.zero_grad()
+        xt = Tensor(x.copy(), requires_grad=True)
+        out = conv(xt, ei, attr, plans=plans)
+        w = randn(*out.shape, seed=41)
+        (out * Tensor(w)).sum().backward()
+        grads = {name: p.grad.copy() for name, p in conv.named_parameters()}
+        return out.data, xt.grad.copy(), grads
+
+    @pytest.mark.parametrize("which", ["gcn", "gat"])
+    def test_planned_equals_unplanned(self, which):
+        from repro.models.layers import GATConv, GCNConv
+
+        ei, x, attr = self.make_graph()
+        if which == "gcn":
+            conv = GCNConv(5, 4, rng=0)
+        else:
+            conv = GATConv(5, 4, heads=2, edge_dim=3, rng=0)
+        plans = PlanCache(ei, x.shape[0])
+        out_p, xg_p, pg_p = self.run_conv(conv, x, ei, attr, plans)
+        out_o, xg_o, pg_o = self.run_conv(conv, x, ei, attr, None)
+        np.testing.assert_array_equal(out_p, out_o)
+        np.testing.assert_array_equal(xg_p, xg_o)
+        assert pg_p.keys() == pg_o.keys()
+        for name in pg_p:
+            np.testing.assert_array_equal(pg_p[name], pg_o[name])
+
+    def test_trained_weights_identical_plans_on_vs_off(self):
+        """End-to-end oracle: same loss curve and weights either way
+        (mirrors tests/data/test_loader.py's worker-count bit-identity)."""
+        from repro.datasets.primekg import load_primekg_like
+        from repro.models import AMDGCNN
+        from repro.seal.dataset import SEALDataset, train_test_split_indices
+        from repro.seal.trainer import TrainConfig, train
+
+        task = load_primekg_like(scale=0.12, num_targets=40, rng=0)
+
+        def run(enabled):
+            with use_plans(enabled):
+                ds = SEALDataset(task, rng=7)
+                tr, te = train_test_split_indices(
+                    task.num_links, 0.3, labels=task.labels, rng=0
+                )
+                model = AMDGCNN(
+                    ds.feature_width,
+                    task.num_classes,
+                    edge_dim=task.edge_attr_dim,
+                    heads=2,
+                    hidden_dim=8,
+                    num_conv_layers=2,
+                    sort_k=6,
+                    dropout=0.0,
+                    rng=1,
+                )
+                result = train(
+                    model,
+                    ds,
+                    tr,
+                    TrainConfig(epochs=2, batch_size=8, lr=1e-3),
+                    eval_indices=te,
+                    rng=5,
+                    verbose=False,
+                )
+            return result, model.state_dict()
+
+        on_result, on_state = run(True)
+        off_result, off_state = run(False)
+        assert on_result.losses == off_result.losses
+        assert on_result.eval_auc == off_result.eval_auc
+        assert on_state.keys() == off_state.keys()
+        for name in on_state:
+            np.testing.assert_array_equal(on_state[name], off_state[name])
+
+    def test_sort_pool_planned_equals_unplanned(self):
+        from repro.models.sort_pool import sort_pool
+
+        batch = np.array([0, 0, 0, 1, 1, 2, 2, 2, 2])
+        x = Tensor(randn(9, 4, seed=32), requires_grad=True)
+        plan = SegmentPlan(batch, 3)
+        planned = sort_pool(x, batch, 3, k=3, plan=plan).data
+        oracle = sort_pool(x, batch, 3, k=3).data
+        np.testing.assert_array_equal(planned, oracle)
