@@ -1,8 +1,10 @@
-"""Opt-in regression gate: planned kernels must never net-lose.
+"""Opt-in regression gates: planned kernels and batched extraction
+must never net-lose to their baselines.
 
 Runs ``scripts/check_bench.py`` against the committed
-``results/BENCH_kernels.json`` history. Marked ``bench_gate`` and kept
-out of tier-1 (``testpaths`` excludes ``benchmarks/``); select it with
+``results/BENCH_kernels.json`` / ``results/BENCH_extraction.json``
+histories. Marked ``bench_gate`` and kept out of tier-1 (``testpaths``
+excludes ``benchmarks/``); select it with
 
     PYTHONPATH=src python -m pytest benchmarks -m bench_gate
 
@@ -20,6 +22,9 @@ import pytest
 
 SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
 RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_kernels.json"
+EXTRACTION_RESULTS = (
+    Path(__file__).resolve().parent.parent / "results" / "BENCH_extraction.json"
+)
 
 sys.path.insert(0, str(SCRIPTS))
 import check_bench  # noqa: E402
@@ -55,3 +60,32 @@ def test_gate_reports_missing_file(tmp_path):
     out = io.StringIO()
     assert check_bench.check(tmp_path / "nope.json", out=out) == 1
     assert "not found" in out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_batched_extraction_has_not_regressed():
+    if not EXTRACTION_RESULTS.exists():
+        pytest.skip(
+            "no BENCH_extraction.json yet — run the extraction microbenchmark"
+        )
+    out = io.StringIO()
+    status = check_bench.check_extraction(EXTRACTION_RESULTS, min_geomean=1.0, out=out)
+    print(out.getvalue())
+    assert status == 0, out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_extraction_gate_fails_below_break_even(tmp_path):
+    """The extraction gate bites: a fabricated net slowdown must fail."""
+    bad = tmp_path / "BENCH_extraction.json"
+    bad.write_text(
+        '[{"benchmark": "extraction", "unix_time": 0, "records": ['
+        '{"kernel": "batch_extraction", "num_nodes": 5000, "speedup": 0.8},'
+        '{"kernel": "frontier_gather", "gathered": 100000, "speedup": 5.0}'
+        "]}]"
+    )
+    out = io.StringIO()
+    assert check_bench.check_extraction(bad, min_geomean=1.0, out=out) == 1
+    assert "FAIL" in out.getvalue()
+    # frontier_gather rides along in the file but must not rescue the
+    # gate — only batch_extraction records are judged.

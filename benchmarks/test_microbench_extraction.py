@@ -1,0 +1,184 @@
+"""Extraction-engine microbenchmarks: batched sweep vs per-link oracle.
+
+Times cold-store packed-sample extraction through the batched engine
+(:func:`repro.data.extraction.build_packed_samples` →
+:mod:`repro.graph.bulk`) against the per-link fallback at the paper's
+k=2 on synthetic knowledge graphs of increasing size, plus the
+frontier-expansion gather rewrite in :mod:`repro.graph.traversal`
+(one ``np.repeat`` of fused base offsets vs the previous two-``repeat``
+spelling). Appends every run to
+``results/BENCH_extraction.json`` — the record
+``scripts/check_bench.py --suite extraction`` gates on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.data.extraction import build_packed_sample, build_packed_samples
+from repro.graph.bulk import use_bulk
+from repro.graph.generators import barabasi_albert_edges
+from repro.graph.structure import Graph
+from repro.graph.traversal import _take_ragged
+from repro.seal import FeatureConfig, LinkTask, sample_negative_pairs
+
+RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_extraction.json"
+
+# (num_nodes, batch_links) workloads, all at the paper's k=2 with a
+# max_nodes cap so the rng tie-break stays on the measured path.
+WORKLOADS = [
+    (2_000, 64),
+    (5_000, 64),
+    (20_000, 128),
+]
+
+
+def best_of(fn: Callable[[], object], repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def make_task(num_nodes: int, num_links: int, seed: int) -> LinkTask:
+    edges = barabasi_albert_edges(num_nodes, 6, rng=seed)
+    etype = np.arange(len(edges)) % 4
+    graph = Graph.from_undirected(
+        num_nodes,
+        edges,
+        node_type=np.arange(num_nodes) % 3,
+        edge_type=etype,
+        edge_attr=np.eye(4)[etype],
+    )
+    gen = np.random.default_rng(seed + 1)
+    pos = edges[gen.choice(len(edges), size=num_links // 2, replace=False)]
+    neg = sample_negative_pairs(graph, num_links - num_links // 2, rng=gen)
+    task = LinkTask(
+        graph=graph,
+        pairs=np.concatenate([pos, neg]),
+        labels=np.zeros(num_links, dtype=np.int64),
+        num_classes=2,
+        feature_config=FeatureConfig(num_node_types=3),
+        name="bench-extraction",
+        subgraph_mode="union",
+        num_hops=2,
+        max_subgraph_nodes=100,
+        edge_attr_dim=4,
+    )
+    graph.csr()  # the engine assumes the CSR is already cached
+    return task
+
+
+def bench_batch_extraction(records: List[Dict]) -> None:
+    for num_nodes, num_links in WORKLOADS:
+        task = make_task(num_nodes, num_links, seed=3)
+        indices = np.arange(num_links)
+
+        def per_link() -> list:
+            return [build_packed_sample(task, 7, int(i)) for i in indices]
+
+        batched = build_packed_samples(task, 7, indices)
+        with use_bulk(False):
+            baseline = per_link()
+        for a, b in zip(batched, baseline):
+            for field in a._fields:
+                xa, ya = getattr(a, field), getattr(b, field)
+                if xa is not None:
+                    np.testing.assert_array_equal(np.asarray(xa), np.asarray(ya))
+
+        t_batched = best_of(lambda: build_packed_samples(task, 7, indices))
+        with use_bulk(False):
+            t_base = best_of(per_link)
+        records.append(
+            {
+                "kernel": "batch_extraction",
+                "num_nodes": num_nodes,
+                "num_links": num_links,
+                "k": 2,
+                "baseline_s": round(t_base, 6),
+                "batched_s": round(t_batched, 6),
+                "speedup": round(t_base / t_batched, 3),
+            }
+        )
+
+
+def bench_frontier_gather(records: List[Dict]) -> None:
+    """The ragged-gather rewrite vs its two-``repeat`` ancestor."""
+    edges = barabasi_albert_edges(50_000, 8, rng=1)
+    graph = Graph.from_undirected(50_000, edges)
+    indptr, indices, _ = graph.csr()
+    gen = np.random.default_rng(2)
+
+    def legacy(starts, counts) -> np.ndarray:
+        # The pre-engine spelling: offsets and starts each repeated to
+        # O(total) before combining.
+        total = int(counts.sum())
+        offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        return indices[np.repeat(starts, counts) + offsets]
+
+    for fsize in (2_000, 20_000):
+        frontier = np.unique(gen.integers(0, graph.num_nodes, size=fsize))
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        np.testing.assert_array_equal(
+            _take_ragged(indices, starts, counts), legacy(starts, counts)
+        )
+        t_new = best_of(lambda: _take_ragged(indices, starts, counts), repeats=20)
+        t_old = best_of(lambda: legacy(starts, counts), repeats=20)
+        records.append(
+            {
+                "kernel": "frontier_gather",
+                "frontier": int(frontier.size),
+                "gathered": int(counts.sum()),
+                "baseline_s": round(t_old, 6),
+                "batched_s": round(t_new, 6),
+                "speedup": round(t_old / t_new, 3),
+            }
+        )
+
+
+def geomean(values: List[float]) -> float:
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def test_batched_extraction_beats_per_link():
+    records: List[Dict] = []
+    bench_batch_extraction(records)
+    bench_frontier_gather(records)
+
+    run = {
+        "benchmark": "extraction",
+        "unix_time": int(time.time()),
+        "records": records,
+    }
+    history = json.loads(RESULTS.read_text()) if RESULTS.exists() else []
+    history.append(run)
+    RESULTS.write_text(json.dumps(history, indent=2) + "\n")
+
+    for r in records:
+        if r["kernel"] == "batch_extraction":
+            print(
+                f"\nbatch_extraction N={r['num_nodes']:>6} B={r['num_links']:>4}: "
+                f"per-link {r['baseline_s'] * 1e3:7.1f} ms, "
+                f"batched {r['batched_s'] * 1e3:7.1f} ms  ({r['speedup']:.2f}x)"
+            )
+        else:
+            print(
+                f"\nfrontier_gather gathered={r['gathered']}: "
+                f"legacy {r['baseline_s'] * 1e3:7.3f} ms, "
+                f"rewrite {r['batched_s'] * 1e3:7.3f} ms  ({r['speedup']:.2f}x)"
+            )
+
+    # Acceptance: >= 2x geomean on cold-store batch extraction at k=2,
+    # and the gather rewrite must not be a regression.
+    batch = [r["speedup"] for r in records if r["kernel"] == "batch_extraction"]
+    assert geomean(batch) >= 2.0, f"batch-extraction speedups too low: {batch}"
+    gather = [r["speedup"] for r in records if r["kernel"] == "frontier_gather"]
+    assert min(gather) >= 0.9, f"frontier gather regressed: {gather}"

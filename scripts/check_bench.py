@@ -1,16 +1,25 @@
 #!/usr/bin/env python
-"""Regression gate over ``results/BENCH_kernels.json``.
+"""Regression gate over the committed benchmark histories.
 
-Reads the latest run appended by ``benchmarks/test_microbench_kernels.py``
-and fails (exit 1) if the planned segment kernels have regressed to a
-net slowdown: the geomean speedup over the ``np.add.at`` baseline across
-the multi-column records at E >= 10k edges must stay >= the threshold
-(default 1.0x — "plans never lose"; the microbenchmark itself asserts
-the stronger >= 2x acceptance bar when it *records* a run).
+Two suites, each judging the latest run of its history file:
+
+* ``kernels`` — ``results/BENCH_kernels.json`` (appended by
+  ``benchmarks/test_microbench_kernels.py``): the geomean speedup of the
+  planned segment kernels over the ``np.add.at`` baseline across the
+  multi-column records at E >= 10k edges must stay >= the threshold
+  (default 1.0x — "plans never lose").
+* ``extraction`` — ``results/BENCH_extraction.json`` (appended by
+  ``benchmarks/test_microbench_extraction.py``): the geomean speedup of
+  batched cold-store extraction over the per-link oracle must stay >=
+  the threshold (default 1.0x — "the sweep never loses to the loop").
+
+The microbenchmarks themselves assert the stronger >= 2x acceptance bar
+when they *record* a run; the gate only guards against net regressions.
 
 Usage:
-    python scripts/check_bench.py [--results results/BENCH_kernels.json]
-                                  [--min-geomean 1.0] [--min-edges 10000]
+    python scripts/check_bench.py [--suite kernels|extraction|all]
+                                  [--results PATH] [--min-geomean 1.0]
+                                  [--min-edges 10000]
 
 Wired into pytest as the opt-in ``bench_gate`` marker
 (``benchmarks/test_bench_gate.py``); tier-1 never touches it.
@@ -24,7 +33,9 @@ import math
 import sys
 from pathlib import Path
 
-DEFAULT_RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_kernels.json"
+_RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+DEFAULT_RESULTS = _RESULTS_DIR / "BENCH_kernels.json"
+DEFAULT_EXTRACTION_RESULTS = _RESULTS_DIR / "BENCH_extraction.json"
 
 
 def geomean(values):
@@ -32,8 +43,8 @@ def geomean(values):
 
 
 def gate_speedups(history, *, min_edges=10_000):
-    """The speedups the gate judges: multi-column segment kernels of the
-    most recent run at E >= ``min_edges``."""
+    """The speedups the kernels gate judges: multi-column segment kernels
+    of the most recent run at E >= ``min_edges``."""
     if not history:
         raise ValueError("benchmark history is empty")
     latest = history[-1]
@@ -52,16 +63,32 @@ def gate_speedups(history, *, min_edges=10_000):
     return speedups, latest
 
 
-def check(results_path, *, min_geomean=1.0, min_edges=10_000, out=sys.stdout):
-    """Returns 0 when the gate passes, 1 when it fails (or data missing)."""
+def extraction_gate_speedups(history):
+    """The speedups the extraction gate judges: ``batch_extraction``
+    records of the most recent run (the ``frontier_gather`` microbench
+    rides along in the file but is not gated)."""
+    if not history:
+        raise ValueError("benchmark history is empty")
+    latest = history[-1]
+    speedups = [
+        float(r["speedup"])
+        for r in latest.get("records", [])
+        if r.get("kernel") == "batch_extraction"
+    ]
+    if not speedups:
+        raise ValueError("no batch_extraction records in latest run")
+    return speedups, latest
+
+
+def _run_gate(results_path, pick, label, hint, *, min_geomean, out):
     path = Path(results_path)
     if not path.exists():
-        print(f"check_bench: {path} not found — run the kernels "
+        print(f"check_bench: {path} not found — run the {hint} "
               "microbenchmark first", file=out)
         return 1
     try:
         history = json.loads(path.read_text())
-        speedups, latest = gate_speedups(history, min_edges=min_edges)
+        speedups, latest = pick(history)
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"check_bench: unusable benchmark data: {exc}", file=out)
         return 1
@@ -74,22 +101,61 @@ def check(results_path, *, min_geomean=1.0, min_edges=10_000, out=sys.stdout):
     if gm < min_geomean:
         print(
             f"check_bench: FAIL — geomean {gm:.2f}x below the "
-            f"{min_geomean:.2f}x floor: planned kernels regressed", file=out,
+            f"{min_geomean:.2f}x floor: {label} regressed", file=out,
         )
         return 1
     print("check_bench: OK", file=out)
     return 0
 
 
+def check(results_path, *, min_geomean=1.0, min_edges=10_000, out=sys.stdout):
+    """Kernels gate. Returns 0 on pass, 1 on fail (or data missing)."""
+    return _run_gate(
+        results_path,
+        lambda history: gate_speedups(history, min_edges=min_edges),
+        "planned kernels",
+        "kernels",
+        min_geomean=min_geomean,
+        out=out,
+    )
+
+
+def check_extraction(results_path, *, min_geomean=1.0, out=sys.stdout):
+    """Extraction gate. Returns 0 on pass, 1 on fail (or data missing)."""
+    return _run_gate(
+        results_path,
+        extraction_gate_speedups,
+        "batched extraction",
+        "extraction",
+        min_geomean=min_geomean,
+        out=out,
+    )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--results", default=str(DEFAULT_RESULTS))
+    parser.add_argument(
+        "--suite", choices=("kernels", "extraction", "all"), default="kernels"
+    )
+    parser.add_argument("--results", default=None, help="history file override")
     parser.add_argument("--min-geomean", type=float, default=1.0)
     parser.add_argument("--min-edges", type=int, default=10_000)
     args = parser.parse_args(argv)
-    return check(
-        args.results, min_geomean=args.min_geomean, min_edges=args.min_edges
-    )
+
+    status = 0
+    if args.suite in ("kernels", "all"):
+        status |= check(
+            args.results or DEFAULT_RESULTS,
+            min_geomean=args.min_geomean,
+            min_edges=args.min_edges,
+        )
+    if args.suite in ("extraction", "all"):
+        status |= check_extraction(
+            args.results if args.suite == "extraction" and args.results
+            else DEFAULT_EXTRACTION_RESULTS,
+            min_geomean=args.min_geomean,
+        )
+    return status
 
 
 if __name__ == "__main__":

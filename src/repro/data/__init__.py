@@ -19,7 +19,7 @@ tuners, experiment runner — feeds from this layer;
 shims over it.
 """
 
-from repro.data.extraction import build_packed_sample
+from repro.data.extraction import build_packed_sample, build_packed_samples
 from repro.data.loader import DataLoader, collate_from_store, warm
 from repro.data.samplers import (
     Sampler,
@@ -41,4 +41,5 @@ __all__ = [
     "collate_from_store",
     "warm",
     "build_packed_sample",
+    "build_packed_samples",
 ]

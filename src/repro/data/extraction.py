@@ -1,12 +1,21 @@
-"""Per-link subgraph + feature construction, shared by serial and worker paths.
+"""Per-link and batched subgraph + feature construction.
 
-:func:`build_packed_sample` is the single function that turns a link
-index into its packed SEAL sample (enclosing subgraph + node-attribute
-matrix). The extraction stream is derived from the dataset seed *and the
-link index*, never from shared mutable state, so the same link produces
-bit-identical arrays no matter which process builds it or in what order
-— the property the parallel :class:`repro.data.DataLoader` relies on to
-guarantee worker-count-independent results.
+:func:`build_packed_sample` turns one link index into its packed SEAL
+sample (enclosing subgraph + node-attribute matrix);
+:func:`build_packed_samples` does the same for a whole batch of links
+through the batched extraction engine (:mod:`repro.graph.bulk`) — one
+multi-source BFS sweep and one columnar induce/label/pack pass instead
+of per-link Python — falling back to the per-link loop when batched
+extraction is disabled (``repro.graph.bulk.set_bulk_enabled(False)``).
+
+Either way, the extraction stream of link ``i`` is derived from the
+dataset seed *and the link index*, never from shared mutable state, so
+the same link produces bit-identical arrays no matter which process
+builds it, in what order, or in which batch grouping — the property the
+parallel :class:`repro.data.DataLoader` relies on to guarantee
+worker-count-independent results, now extended to "batched and per-link
+extraction are interchangeable" (asserted by
+``tests/graph/test_bulk_extraction.py``).
 
 This module deliberately avoids importing :mod:`repro.seal.dataset`
 (which imports :mod:`repro.data`); it only needs the duck-typed task
@@ -15,12 +24,24 @@ fields listed in :func:`build_packed_sample`.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
+import numpy as np
+
+from repro import obs
 from repro.data.store import PackedSubgraph
+from repro.graph.bulk import bulk_enabled, extract_enclosing_subgraphs
 from repro.graph.subgraph import extract_enclosing_subgraph
-from repro.seal.features import build_node_features
+from repro.seal.features import assemble_node_features, build_node_features
+from repro.seal.labeling import drnl_labels_from_distances
 from repro.utils.rng import RngLike, derive
 
-__all__ = ["build_packed_sample"]
+__all__ = ["build_packed_sample", "build_packed_samples"]
+
+
+def _link_rng(task, seed: RngLike, index: int):
+    """The per-link extraction stream (same in every process and path)."""
+    return derive(seed, "seal-extract", task.name, str(int(index)))
 
 
 def build_packed_sample(task, seed: RngLike, index: int) -> PackedSubgraph:
@@ -38,10 +59,11 @@ def build_packed_sample(task, seed: RngLike, index: int) -> PackedSubgraph:
         k=task.num_hops,
         mode=task.subgraph_mode,
         max_nodes=task.max_subgraph_nodes,
-        rng=derive(seed, "seal-extract", task.name, str(int(index))),
+        rng=_link_rng(task, seed, index),
     )
     feats = build_node_features(sub, task.feature_config)
     g = sub.graph
+    obs.count("extraction.fallback.links")
     return PackedSubgraph(
         index=int(index),
         num_nodes=g.num_nodes,
@@ -53,3 +75,77 @@ def build_packed_sample(task, seed: RngLike, index: int) -> PackedSubgraph:
         edge_attr=g.edge_attr,
         node_features=g.node_features,
     )
+
+
+def build_packed_samples(
+    task, seed: RngLike, indices: Sequence[int]
+) -> List[PackedSubgraph]:
+    """Extract a batch of links into :class:`PackedSubgraph` samples.
+
+    Bit-identical to ``[build_packed_sample(task, seed, i) for i in
+    indices]`` — with batched extraction enabled (the default) the whole
+    batch goes through one :func:`~repro.graph.bulk.extract_enclosing_subgraphs`
+    sweep plus a single fused labeling/feature pass over the packed rows.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size == 0:
+        return []
+    if not bulk_enabled():
+        return [build_packed_sample(task, seed, int(i)) for i in indices]
+
+    graph = task.graph
+    config = task.feature_config
+    bulk = extract_enclosing_subgraphs(
+        graph,
+        task.pairs[indices],
+        k=task.num_hops,
+        mode=task.subgraph_mode,
+        max_nodes=task.max_subgraph_nodes,
+        rng_factory=lambda pos: _link_rng(task, seed, int(indices[pos])),
+        with_label_distances=config.use_drnl,
+    )
+
+    with obs.trace("extract.pack"):
+        node_map = bulk.node_map
+        node_type = graph.node_type[node_map]
+        node_features = (
+            None if graph.node_features is None else graph.node_features[node_map]
+        )
+        edge_type = graph.edge_type[bulk.edge_ids]
+        edge_attr = None if graph.edge_attr is None else graph.edge_attr[bulk.edge_ids]
+        labels = None
+        if config.use_drnl:
+            src_rows = bulk.node_offsets[:-1]
+            labels = drnl_labels_from_distances(
+                bulk.dist_src, bulk.dist_dst, src_rows, src_rows + 1
+            )
+        features = assemble_node_features(
+            config,
+            node_type=node_type,
+            drnl=labels,
+            node_features=node_features,
+            node_map=node_map,
+        )
+
+        samples: List[PackedSubgraph] = []
+        no = bulk.node_offsets
+        eo = bulk.edge_offsets
+        for pos, index in enumerate(indices):
+            ns, ne = int(no[pos]), int(no[pos + 1])
+            es, ee = int(eo[pos]), int(eo[pos + 1])
+            samples.append(
+                PackedSubgraph(
+                    index=int(index),
+                    num_nodes=ne - ns,
+                    num_edges=ee - es,
+                    edge_index=bulk.edge_index[:, es:ee],
+                    features=features[ns:ne],
+                    node_type=node_type[ns:ne],
+                    edge_type=edge_type[es:ee],
+                    edge_attr=None if edge_attr is None else edge_attr[es:ee],
+                    node_features=(
+                        None if node_features is None else node_features[ns:ne]
+                    ),
+                )
+            )
+    return samples

@@ -75,11 +75,16 @@ def _worker_init(payload: tuple) -> None:
 
 
 def _worker_extract(chunk: List[int]) -> List[PackedSubgraph]:
-    """Extract a chunk of links inside a worker process."""
-    from repro.data.extraction import build_packed_sample
+    """Extract a chunk of links inside a worker process.
+
+    Uses the batched engine (one multi-source BFS sweep per chunk);
+    per-link streams keep results independent of the chunking, so worker
+    output stays bit-identical to serial extraction.
+    """
+    from repro.data.extraction import build_packed_samples
 
     task, seed = _WORKER_STATE
-    return [build_packed_sample(task, seed, i) for i in chunk]
+    return build_packed_samples(task, seed, chunk)
 
 
 def collate_from_store(
@@ -291,6 +296,14 @@ class DataLoader:
             yield from self._fill_serial(batches)
 
     def _fill_serial(self, batches: List[np.ndarray]) -> Iterator[np.ndarray]:
+        # Batch-level extraction when the dataset supports it (one
+        # multi-source sweep per batch); per-link loop otherwise.
+        ensure_many = getattr(self.dataset, "ensure_many", None)
+        if ensure_many is not None:
+            for batch_idx in batches:
+                ensure_many(batch_idx)
+                yield batch_idx
+            return
         ensure = self.dataset.ensure
         for batch_idx in batches:
             for i in batch_idx:

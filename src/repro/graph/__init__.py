@@ -1,6 +1,13 @@
 """Graph substrate: containers, traversal, enclosing subgraphs, batching."""
 
 from repro.graph.batch import GraphBatch, collate
+from repro.graph.bulk import (
+    BulkSubgraphs,
+    bulk_enabled,
+    extract_enclosing_subgraphs,
+    set_bulk_enabled,
+    use_bulk,
+)
 from repro.graph.generators import (
     barabasi_albert_edges,
     dedupe_edges,
@@ -18,7 +25,12 @@ from repro.graph.stats import (
 )
 from repro.graph.structure import Graph
 from repro.graph.subgraph import EnclosingSubgraph, extract_enclosing_subgraph
-from repro.graph.traversal import bfs_distances, k_hop_nodes, pairwise_distance
+from repro.graph.traversal import (
+    bfs_distances,
+    k_hop_nodes,
+    multi_source_bfs,
+    pairwise_distance,
+)
 
 __all__ = [
     "Graph",
@@ -26,9 +38,15 @@ __all__ = [
     "collate",
     "bfs_distances",
     "k_hop_nodes",
+    "multi_source_bfs",
     "pairwise_distance",
     "EnclosingSubgraph",
     "extract_enclosing_subgraph",
+    "BulkSubgraphs",
+    "extract_enclosing_subgraphs",
+    "bulk_enabled",
+    "set_bulk_enabled",
+    "use_bulk",
     "erdos_renyi_edges",
     "barabasi_albert_edges",
     "stochastic_block_edges",

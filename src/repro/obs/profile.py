@@ -20,7 +20,9 @@ worker results when ``--workers N`` is set); ``cache`` is the
 :meth:`SEALDataset.cache_info` view proving the second epoch onward is
 extraction-free; ``kernels`` reports the segment-plan engine — plans
 built, plan-cache hit rates (per-batch and store-level) and per-kernel
-timers.
+timers; ``extraction`` reports the batched extraction engine — per-stage
+timers (BFS sweep / induce / label / pack), links processed batched vs
+through the per-link fallback, and the subgraph-store warm-hit rate.
 """
 
 from __future__ import annotations
@@ -144,6 +146,36 @@ def run_profile(
             )
         },
     }
+    batched_links = counters.get("extraction.batched.links", 0.0)
+    fallback_links = counters.get("extraction.fallback.links", 0.0)
+    extracted_links = batched_links + fallback_links
+    warm_hits = counters.get("seal.cache.hits", 0.0)
+    warm_misses = counters.get("seal.cache.misses", 0.0)
+    warm_lookups = warm_hits + warm_misses
+    extraction_report = {
+        "links": {
+            "batched": batched_links,
+            "fallback": fallback_links,
+            "batched_fraction": batched_links / extracted_links if extracted_links else 0.0,
+        },
+        "store_warm": {
+            "hits": warm_hits,
+            "misses": warm_misses,
+            "hit_rate": warm_hits / warm_lookups if warm_lookups else 0.0,
+        },
+        "timers": {
+            name: {
+                "seconds": leaf_totals.get(name, 0.0),
+                "calls": leaf_counts.get(name, 0),
+            }
+            for name in (
+                "extract.bfs",
+                "extract.induce",
+                "extract.label",
+                "extract.pack",
+            )
+        },
+    }
     return {
         "workload": {
             "dataset": dataset,
@@ -173,6 +205,7 @@ def run_profile(
         },
         "cache": cache._asdict(),
         "kernels": kernels_report,
+        "extraction": extraction_report,
         "counters": counters,
         "snapshot": registry.snapshot(),
     }

@@ -21,10 +21,15 @@ from repro.seal.evaluator import EvalResult, evaluate, predict_proba
 from repro.seal.results import TrainResult
 from repro.seal.inference import classify_pairs
 from repro.seal.tasks import make_link_classification_task, make_link_prediction_task
-from repro.seal.features import FeatureConfig, build_node_features
+from repro.seal.features import (
+    FeatureConfig,
+    assemble_node_features,
+    build_node_features,
+)
 from repro.seal.labeling import (
     DEFAULT_MAX_LABEL,
     drnl_labels,
+    drnl_labels_from_distances,
     drnl_one_hot,
     drnl_value,
 )
@@ -38,8 +43,10 @@ __all__ = [
     "sample_negative_pairs",
     "FeatureConfig",
     "build_node_features",
+    "assemble_node_features",
     "drnl_value",
     "drnl_labels",
+    "drnl_labels_from_distances",
     "drnl_one_hot",
     "DEFAULT_MAX_LABEL",
     "TrainConfig",

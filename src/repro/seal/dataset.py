@@ -258,6 +258,35 @@ class SEALDataset:
             sample = build_packed_sample(self.task, self._rng_seed, i)
         self.store.put(sample)
 
+    def ensure_many(self, indices: Sequence[int]) -> None:
+        """Make sure every link of ``indices`` is in the store.
+
+        Cache misses are extracted together through the batched engine
+        (:func:`repro.data.extraction.build_packed_samples` — one
+        multi-source BFS sweep per batch instead of per-link traversals),
+        producing arrays bit-identical to :meth:`ensure` link by link.
+        Hit/miss accounting matches the sequential loop: every index
+        already stored (or repeated within the call) counts as a hit.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return
+        missing = self.store.missing(indices)
+        hits = int(indices.size) - int(missing.size)
+        if hits:
+            self._hits += hits
+            obs.count("seal.cache.hits", float(hits))
+        if missing.size == 0:
+            return
+        from repro.data.extraction import build_packed_samples
+
+        self._misses += int(missing.size)
+        obs.count("seal.cache.misses", float(missing.size))
+        with obs.trace("extraction"):
+            samples = build_packed_samples(self.task, self._rng_seed, missing)
+        for sample in samples:
+            self.store.put(sample)
+
     def adopt(self, sample: PackedSubgraph) -> None:
         """Insert an externally extracted sample (counts as a cache miss).
 
@@ -314,8 +343,7 @@ class SEALDataset:
         from repro.data.loader import collate_from_store
 
         indices = np.asarray(indices, dtype=np.int64)
-        for i in indices:
-            self.ensure(int(i))
+        self.ensure_many(indices)
         batch = collate_from_store(
             self.store, indices, edge_attr_dim=self.task.edge_attr_dim
         )

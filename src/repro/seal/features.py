@@ -23,7 +23,7 @@ from repro.graph.subgraph import EnclosingSubgraph
 from repro.nn.functional import one_hot
 from repro.seal.labeling import DEFAULT_MAX_LABEL, drnl_labels, drnl_one_hot
 
-__all__ = ["FeatureConfig", "build_node_features"]
+__all__ = ["FeatureConfig", "build_node_features", "assemble_node_features"]
 
 
 @dataclass
@@ -68,24 +68,49 @@ class FeatureConfig:
         return w
 
 
+def assemble_node_features(
+    config: FeatureConfig,
+    *,
+    node_type: np.ndarray,
+    drnl: Optional[np.ndarray],
+    node_features: Optional[np.ndarray],
+    node_map: np.ndarray,
+) -> np.ndarray:
+    """Concatenate the configured feature blocks for a set of node rows.
+
+    The shared low-level assembly behind :func:`build_node_features` (one
+    subgraph) and the bulk extraction path (every subgraph of a batch in
+    one call — the rows of a packed batch concatenate the same way a
+    single subgraph's do). ``drnl`` holds precomputed DRNL labels and may
+    be ``None`` when ``config.use_drnl`` is off.
+    """
+    blocks = []
+    if config.num_node_types > 0:
+        if node_type.max(initial=0) >= config.num_node_types:
+            raise ValueError("node type exceeds configured num_node_types")
+        blocks.append(one_hot(node_type, config.num_node_types))
+    if config.use_drnl:
+        blocks.append(drnl_one_hot(drnl, config.max_drnl_label))
+    if config.explicit_dim > 0:
+        if node_features is None:
+            raise ValueError("explicit_dim > 0 but the graph has no node features")
+        if node_features.shape[1] != config.explicit_dim:
+            raise ValueError(
+                f"explicit feature width {node_features.shape[1]} != {config.explicit_dim}"
+            )
+        blocks.append(node_features)
+    if config.embeddings is not None:
+        blocks.append(config.embeddings[node_map])
+    return np.concatenate(blocks, axis=1)
+
+
 def build_node_features(sub: EnclosingSubgraph, config: FeatureConfig) -> np.ndarray:
     """Assemble the ``(n, width)`` node attribute matrix for one subgraph."""
-    blocks = []
     g = sub.graph
-    if config.num_node_types > 0:
-        if g.node_type.max(initial=0) >= config.num_node_types:
-            raise ValueError("node type exceeds configured num_node_types")
-        blocks.append(one_hot(g.node_type, config.num_node_types))
-    if config.use_drnl:
-        blocks.append(drnl_one_hot(drnl_labels(sub), config.max_drnl_label))
-    if config.explicit_dim > 0:
-        if g.node_features is None:
-            raise ValueError("explicit_dim > 0 but the graph has no node features")
-        if g.node_features.shape[1] != config.explicit_dim:
-            raise ValueError(
-                f"explicit feature width {g.node_features.shape[1]} != {config.explicit_dim}"
-            )
-        blocks.append(g.node_features)
-    if config.embeddings is not None:
-        blocks.append(config.embeddings[sub.node_map])
-    return np.concatenate(blocks, axis=1)
+    return assemble_node_features(
+        config,
+        node_type=g.node_type,
+        drnl=drnl_labels(sub) if config.use_drnl else None,
+        node_features=g.node_features,
+        node_map=sub.node_map,
+    )

@@ -28,7 +28,13 @@ from repro.graph.subgraph import EnclosingSubgraph
 from repro.graph.traversal import bfs_distances
 from repro.nn.functional import one_hot
 
-__all__ = ["drnl_value", "drnl_labels", "drnl_one_hot", "DEFAULT_MAX_LABEL"]
+__all__ = [
+    "drnl_value",
+    "drnl_labels",
+    "drnl_labels_from_distances",
+    "drnl_one_hot",
+    "DEFAULT_MAX_LABEL",
+]
 
 # Labels above this are clamped into the top bucket of the one-hot
 # encoding. For k=2 subgraphs distances rarely exceed 5, giving labels
@@ -55,11 +61,32 @@ def drnl_value(x: np.ndarray, y: np.ndarray) -> np.ndarray:
 
 
 def _distances_without(graph: Graph, source: int, removed: int) -> np.ndarray:
-    """BFS distances from ``source`` with node ``removed`` cut out."""
-    src_arr, dst_arr = graph.edge_index
-    mask = (src_arr == removed) | (dst_arr == removed)
-    pruned = graph.without_edges(mask) if mask.any() else graph
-    return bfs_distances(pruned, source)
+    """BFS distances from ``source`` with node ``removed`` cut out.
+
+    ``blocked_node`` skips the node during traversal directly — this used
+    to build a pruned ``Graph`` copy (edge mask + fresh CSR) per call,
+    twice per link, just to drop one node's arcs.
+    """
+    return bfs_distances(graph, source, blocked_node=removed)
+
+
+def drnl_labels_from_distances(
+    dist_a: np.ndarray, dist_b: np.ndarray, src, dst
+) -> np.ndarray:
+    """DRNL labels given precomputed target-removed distance arrays.
+
+    ``src``/``dst`` may be scalars (one subgraph) or index arrays (every
+    target of a packed batch at once — the bulk extraction path). Target
+    nodes get label 1; nodes unreachable from *either* target get the
+    null label 0; all other nodes get ``D(x, y)``.
+    """
+    labels = np.zeros(dist_a.shape[0], dtype=np.int64)
+    reachable = (dist_a >= 0) & (dist_b >= 0)
+    if reachable.any():
+        labels[reachable] = drnl_value(dist_a[reachable], dist_b[reachable])
+    labels[src] = 1
+    labels[dst] = 1
+    return labels
 
 
 def drnl_labels(sub: EnclosingSubgraph) -> np.ndarray:
@@ -71,13 +98,7 @@ def drnl_labels(sub: EnclosingSubgraph) -> np.ndarray:
     g = sub.graph
     dist_a = _distances_without(g, sub.src, sub.dst)
     dist_b = _distances_without(g, sub.dst, sub.src)
-    labels = np.zeros(g.num_nodes, dtype=np.int64)
-    reachable = (dist_a >= 0) & (dist_b >= 0)
-    if reachable.any():
-        labels[reachable] = drnl_value(dist_a[reachable], dist_b[reachable])
-    labels[sub.src] = 1
-    labels[sub.dst] = 1
-    return labels
+    return drnl_labels_from_distances(dist_a, dist_b, sub.src, sub.dst)
 
 
 def drnl_one_hot(labels: np.ndarray, max_label: int = DEFAULT_MAX_LABEL) -> np.ndarray:

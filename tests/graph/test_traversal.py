@@ -8,7 +8,13 @@ from hypothesis import strategies as st
 
 from repro.graph.generators import erdos_renyi_edges
 from repro.graph.structure import Graph
-from repro.graph.traversal import bfs_distances, k_hop_nodes, pairwise_distance
+from repro.graph.traversal import (
+    _take_ragged,
+    bfs_distances,
+    k_hop_nodes,
+    multi_source_bfs,
+    pairwise_distance,
+)
 
 
 class TestBFSDistances:
@@ -51,6 +57,108 @@ class TestBFSDistances:
             theirs = nx.single_source_shortest_path_length(nxg, src)
             for v in range(40):
                 assert ours[v] == theirs.get(v, -1)
+
+
+class TestTakeRagged:
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 6)), max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_python_slicing(self, runs):
+        values = np.arange(40, dtype=np.int64) * 3
+        starts = np.array([s for s, _ in runs], dtype=np.int64)
+        counts = np.array([min(c, 40 - s) for s, c in runs], dtype=np.int64)
+        got = _take_ragged(values, starts, counts)
+        want = np.concatenate(
+            [values[s : s + c] for s, c in zip(starts, counts)] or [values[:0]]
+        )
+        np.testing.assert_array_equal(got, want)
+
+    def test_empty(self):
+        out = _take_ragged(
+            np.arange(5), np.empty(0, np.int64), np.empty(0, np.int64)
+        )
+        assert out.size == 0
+
+    def test_zero_count_runs_skipped(self):
+        # Zero-length runs between non-empty ones contribute nothing.
+        values = np.arange(10)
+        starts = np.array([4, 7, 0, 2])
+        counts = np.array([2, 0, 0, 3])
+        np.testing.assert_array_equal(
+            _take_ragged(values, starts, counts), [4, 5, 2, 3, 4]
+        )
+
+
+class TestBlockedNode:
+    def test_blocked_node_unreachable(self, path_graph):
+        # Blocking node 2 severs the path at it.
+        d = bfs_distances(path_graph, 0, blocked_node=2)
+        np.testing.assert_array_equal(d, [0, 1, -1, -1, -1])
+
+    def test_blocked_node_with_detour(self, tiny_graph):
+        # 0-1 direct hop survives blocking 2; routes through 2 do not.
+        d = bfs_distances(tiny_graph, 0, blocked_node=2)
+        assert d[2] == -1
+        assert d[1] == 1
+
+    def test_cannot_block_source(self, path_graph):
+        with pytest.raises(ValueError):
+            bfs_distances(path_graph, 1, blocked_node=1)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_equals_bfs_on_pruned_graph(self, seed):
+        # blocked_node= must equal BFS over a copy with every arc
+        # touching the node dropped — the allocation it replaces.
+        edges = erdos_renyi_edges(30, 0.12, rng=seed)
+        g = Graph.from_undirected(30, edges)
+        src, blocked = 0, 5
+        mask = (edges == blocked).any(axis=1)
+        pruned = Graph.from_undirected(30, edges[~mask])
+        got = bfs_distances(g, src, blocked_node=blocked)
+        np.testing.assert_array_equal(got, bfs_distances(pruned, src))
+
+
+class TestMultiSourceBFS:
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("max_depth", [None, 2])
+    def test_rows_match_single_source(self, seed, max_depth):
+        edges = erdos_renyi_edges(50, 0.08, rng=seed)
+        g = Graph.from_undirected(50, edges)
+        indptr, indices, _ = g.csr()
+        sources = np.array([0, 7, 7, 23, 49])  # duplicates get rows too
+        dist = multi_source_bfs(indptr, indices, sources, max_depth=max_depth)
+        assert dist.shape == (5, 50) and dist.dtype == np.int32
+        for row, src in enumerate(sources):
+            np.testing.assert_array_equal(
+                dist[row], bfs_distances(g, int(src), max_depth=max_depth)
+            )
+
+    def test_blocked_per_row(self, tiny_graph):
+        indptr, indices, _ = tiny_graph.csr()
+        sources = np.array([0, 1])
+        blocked = np.array([1, 0])
+        dist = multi_source_bfs(indptr, indices, sources, blocked=blocked)
+        np.testing.assert_array_equal(
+            dist[0], bfs_distances(tiny_graph, 0, blocked_node=1)
+        )
+        np.testing.assert_array_equal(
+            dist[1], bfs_distances(tiny_graph, 1, blocked_node=0)
+        )
+
+    def test_empty_sources(self, path_graph):
+        indptr, indices, _ = path_graph.csr()
+        dist = multi_source_bfs(indptr, indices, np.empty(0, np.int64))
+        assert dist.shape == (0, 5)
+
+    def test_validation(self, path_graph):
+        indptr, indices, _ = path_graph.csr()
+        with pytest.raises(ValueError):
+            multi_source_bfs(indptr, indices, np.array([[0, 1]]))
+        with pytest.raises(ValueError):
+            multi_source_bfs(indptr, indices, np.array([9]))
+        with pytest.raises(ValueError):
+            multi_source_bfs(indptr, indices, np.array([0]), blocked=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            multi_source_bfs(indptr, indices, np.array([2]), blocked=np.array([2]))
 
 
 class TestKHop:
