@@ -42,25 +42,42 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def _usable_speedups(records):
+    """Split gated records into usable speedups and a null count.
+
+    ``save_json`` writes non-finite floats (a zero-time baseline makes
+    the recorded speedup NaN/inf) as ``null``; those records can't be
+    judged, so the gate skips them but reports how many it dropped.
+    """
+    speedups, skipped = [], 0
+    for r in records:
+        if r.get("speedup") is None:
+            skipped += 1
+        else:
+            speedups.append(float(r["speedup"]))
+    return speedups, skipped
+
+
 def gate_speedups(history, *, min_edges=10_000):
     """The speedups the kernels gate judges: multi-column segment kernels
     of the most recent run at E >= ``min_edges``."""
     if not history:
         raise ValueError("benchmark history is empty")
     latest = history[-1]
-    records = latest.get("records", [])
-    speedups = [
-        float(r["speedup"])
-        for r in records
+    records = [
+        r
+        for r in latest.get("records", [])
         if r.get("kernel") in ("segment_sum", "segment_softmax")
         and r.get("E", 0) >= min_edges
         and r.get("tail")  # 1-D add.at has a fast path; plans are a wash there
     ]
+    speedups, skipped = _usable_speedups(records)
     if not speedups:
         raise ValueError(
-            f"no multi-column segment records at E >= {min_edges} in latest run"
+            f"no usable multi-column segment records at E >= {min_edges} "
+            f"in latest run ({skipped} null-speedup records skipped)"
         )
-    return speedups, latest
+    return speedups, latest, skipped
 
 
 def extraction_gate_speedups(history):
@@ -70,14 +87,16 @@ def extraction_gate_speedups(history):
     if not history:
         raise ValueError("benchmark history is empty")
     latest = history[-1]
-    speedups = [
-        float(r["speedup"])
-        for r in latest.get("records", [])
-        if r.get("kernel") == "batch_extraction"
+    records = [
+        r for r in latest.get("records", []) if r.get("kernel") == "batch_extraction"
     ]
+    speedups, skipped = _usable_speedups(records)
     if not speedups:
-        raise ValueError("no batch_extraction records in latest run")
-    return speedups, latest
+        raise ValueError(
+            "no usable batch_extraction records in latest run "
+            f"({skipped} null-speedup records skipped)"
+        )
+    return speedups, latest, skipped
 
 
 def _run_gate(results_path, pick, label, hint, *, min_geomean, out):
@@ -88,7 +107,7 @@ def _run_gate(results_path, pick, label, hint, *, min_geomean, out):
         return 1
     try:
         history = json.loads(path.read_text())
-        speedups, latest = pick(history)
+        speedups, latest, skipped = pick(history)
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"check_bench: unusable benchmark data: {exc}", file=out)
         return 1
@@ -98,6 +117,11 @@ def _run_gate(results_path, pick, label, hint, *, min_geomean, out):
         f"check_bench: run@{stamp}: geomean speedup {gm:.2f}x over "
         f"{len(speedups)} records {sorted(speedups)}", file=out,
     )
+    if skipped:
+        print(
+            f"check_bench: WARNING — skipped {skipped} record(s) with null "
+            "(non-finite) speedup; rerun the microbenchmark", file=out,
+        )
     if gm < min_geomean:
         print(
             f"check_bench: FAIL — geomean {gm:.2f}x below the "

@@ -8,6 +8,11 @@ configurations as a Python dict ready to paste into
 values — rerun after changing the datasets or models.
 
 Usage:  python scripts/run_tuning.py [--trials 8] [--scale 0.3]
+                                     [--checkpoint-dir DIR] [--no-resume]
+
+``--checkpoint-dir`` makes the sweep crash-safe: each (dataset, model)
+pair's trial log is persisted after every trial, and a rerun with the
+same flags restarts from the completed trials.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from __future__ import annotations
 import argparse
 import json
 import time
+from pathlib import Path
 
 from repro.datasets import dataset_names, load_dataset
 from repro.experiments.config import MODEL_NAMES, ModelHyperparams, build_model
@@ -45,6 +51,16 @@ def main() -> None:
     parser.add_argument("--trials", type=int, default=8)
     parser.add_argument("--scale", type=float, default=0.3)
     parser.add_argument("--datasets", nargs="*", default=None)
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist per-pair trial logs here; reruns resume from them",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore existing trial logs (start every pair from scratch)",
+    )
     args = parser.parse_args()
 
     results = {}
@@ -59,7 +75,17 @@ def main() -> None:
             tuner = CBOTuner(
                 paper_table1_space(), n_initial=4, candidate_pool=256, rng=0
             )
-            res = tuner.run(make_evaluator(ds, task, tr, va, model_name), args.trials)
+            ckpt_path = (
+                Path(args.checkpoint_dir) / f"{name}_{model_name}.json"
+                if args.checkpoint_dir
+                else None
+            )
+            res = tuner.run(
+                make_evaluator(ds, task, tr, va, model_name),
+                args.trials,
+                checkpoint_path=ckpt_path,
+                resume=not args.no_resume,
+            )
             best = res.best_config
             results[name][model_name] = {
                 "lr": round(float(best["lr"]), 6),

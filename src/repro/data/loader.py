@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import os
 from collections import deque
+from multiprocessing import TimeoutError as MpTimeoutError
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -184,6 +185,10 @@ class DataLoader:
     force_workers: keep the requested ``num_workers`` even on a
         single-core host (tests and benchmarks that exercise the pool
         itself).
+    worker_timeout: seconds the parent waits for one worker chunk before
+        declaring the pool hung and falling back to serial extraction
+        (a *hung* — not dead — worker would otherwise block the epoch
+        forever). ``None`` waits unboundedly.
     """
 
     def __init__(
@@ -199,11 +204,14 @@ class DataLoader:
         prefetch_factor: int = 2,
         chunk_size: Optional[int] = None,
         force_workers: bool = False,
+        worker_timeout: Optional[float] = 60.0,
     ):
         if num_workers < 0:
             raise ValueError("num_workers must be non-negative")
         if prefetch_factor < 1:
             raise ValueError("prefetch_factor must be >= 1")
+        if worker_timeout is not None and worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive (or None)")
         if num_workers > 0 and not force_workers and usable_cores() <= 1:
             global _DEGRADE_WARNED
             obs.count("data.loader.workers_degraded")
@@ -227,6 +235,7 @@ class DataLoader:
         self.num_workers = int(num_workers)
         self.prefetch_factor = int(prefetch_factor)
         self.chunk_size = chunk_size
+        self.worker_timeout = worker_timeout
         self._pool = None
         self._pool_broken = False
 
@@ -364,7 +373,19 @@ class DataLoader:
                 result = pending.popleft()
                 try:
                     with obs.trace("queue-wait"):
-                        samples = result.get()
+                        # Bounded wait: a hung (not dead) worker must not
+                        # block the epoch forever — time out and finish
+                        # through the serial path instead.
+                        samples = result.get(self.worker_timeout)
+                except MpTimeoutError:
+                    obs.count("data.loader.worker_timeouts")
+                    logger.warning(
+                        "extraction worker produced nothing for %.1fs; "
+                        "assuming it hung and falling back to serial",
+                        self.worker_timeout,
+                    )
+                    self._mark_broken()
+                    break
                 except Exception as exc:
                     logger.warning(
                         "extraction worker failed (%s); falling back to serial", exc

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -21,6 +22,7 @@ from repro.experiments.config import (
     build_model,
     train_config_for,
 )
+from repro.seal.checkpoint import CheckpointConfig
 from repro.seal.dataset import SEALDataset, train_test_split_indices
 from repro.seal.evaluator import EvalResult, evaluate
 from repro.seal.trainer import TrainResult, train
@@ -73,6 +75,12 @@ class ExperimentRunner:
     num_workers: extraction worker processes for dataset warming and
         every training/evaluation loader (0 = serial; results are
         identical either way).
+    checkpoint: crash-safety policy shared by every run. Each
+        ``run(...)`` trains under its own subdirectory of
+        ``checkpoint.dir`` (keyed by dataset/model/epochs/fraction), so
+        a killed sweep rerun with the same arguments resumes each job
+        from its last completed epoch instead of starting over. A plain
+        directory path is accepted as shorthand for the default policy.
     """
 
     def __init__(
@@ -81,6 +89,7 @@ class ExperimentRunner:
         seed: int = 0,
         test_fraction: float = 0.25,
         num_workers: int = 0,
+        checkpoint: Optional[Union[CheckpointConfig, str, Path]] = None,
     ):
         if not 0 < test_fraction < 1:
             raise ValueError("test_fraction must be in (0, 1)")
@@ -88,6 +97,9 @@ class ExperimentRunner:
         self.seed = seed
         self.test_fraction = test_fraction
         self.num_workers = num_workers
+        if checkpoint is not None and not isinstance(checkpoint, CheckpointConfig):
+            checkpoint = CheckpointConfig(dir=Path(checkpoint))
+        self.checkpoint = checkpoint
         self._bundles: Dict[Tuple[str, float], _DatasetBundle] = {}
 
     def bundle(self, dataset_name: str, num_targets: Optional[int] = None) -> _DatasetBundle:
@@ -152,6 +164,15 @@ class ExperimentRunner:
         config = dataclasses.replace(
             train_config_for(hparams, epochs), num_workers=self.num_workers
         )
+        run_ckpt = None
+        if self.checkpoint is not None:
+            # One directory per distinct job so sweep cells never collide.
+            job = (
+                f"{dataset_name}_{model_name}_e{config.epochs}"
+                f"_tf{train_fraction:.4f}"
+                + ("" if num_targets is None else f"_nt{num_targets}")
+            )
+            run_ckpt = self.checkpoint.for_subdir(job)
         history = train(
             model,
             b.dataset,
@@ -159,6 +180,7 @@ class ExperimentRunner:
             config,
             eval_indices=b.test_idx if eval_each_epoch else None,
             rng=derive(self.seed, "train", dataset_name, model_name),
+            checkpoint=run_ckpt,
         )
         final = evaluate(model, b.dataset, b.test_idx, num_workers=self.num_workers)
         return RunResult(

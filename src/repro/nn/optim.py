@@ -6,11 +6,21 @@ reproduction. SGD with momentum is kept as a baseline, and AdamW gives
 decoupled weight decay for the dense heads.
 
 All updates are in-place on ``Parameter.data`` and fully vectorized.
+
+Per-parameter optimizer state (momentum velocities, Adam moments) is
+keyed by *parameter name*, not ``id(p)``: id keys cannot be serialized
+into a checkpoint, and a dict entry for a garbage-collected parameter
+could silently be adopted by a new parameter allocated at the recycled
+address. Pass ``model.named_parameters()`` to key state by dotted path
+(the stable spelling checkpoints use); plain parameter iterables get
+positional names ``"p0"``, ``"p1"``, ... ``state_dict`` /
+``load_state_dict`` round-trip the full update state bit-exactly, so a
+resumed run steps identically to an uninterrupted one.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Tuple, Union
 
 import numpy as np
 
@@ -18,22 +28,88 @@ from repro.nn.module import Parameter
 
 __all__ = ["Optimizer", "SGD", "Adam", "AdamW", "StepLR", "clip_grad_norm"]
 
+ParamsLike = Iterable[Union[Parameter, Tuple[str, Parameter]]]
+
 
 class Optimizer:
-    """Base optimizer over a list of parameters."""
+    """Base optimizer over a list of (optionally named) parameters.
 
-    def __init__(self, params: Iterable[Parameter], lr: float):
-        self.params: List[Parameter] = list(params)
+    ``params`` accepts either plain :class:`Parameter` objects or
+    ``(name, parameter)`` pairs such as ``model.named_parameters()``.
+    Names key the per-parameter state and must be unique.
+    """
+
+    def __init__(self, params: ParamsLike, lr: float):
+        self.params: List[Parameter] = []
+        self._names: List[str] = []
+        for item in params:
+            if isinstance(item, tuple):
+                name, p = item
+                name = str(name)
+            else:
+                name, p = f"p{len(self.params)}", item
+            if name in self._names:
+                raise ValueError(f"duplicate parameter name {name!r}")
+            self._names.append(name)
+            self.params.append(p)
         if not self.params:
             raise ValueError("optimizer received no parameters")
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.lr = float(lr)
+        #: name → slot dict (e.g. ``{"m": ..., "v": ...}``), lazily filled.
+        self.state: Dict[str, Dict[str, np.ndarray]] = {}
+
+    def _named(self) -> Iterator[Tuple[str, Parameter]]:
+        """``(name, parameter)`` pairs; appended params get fresh names."""
+        while len(self._names) < len(self.params):
+            i = len(self._names)
+            name = f"p{i}"
+            while name in self._names:
+                i += 1
+                name = f"p{i}"
+            self._names.append(name)
+        return zip(self._names, self.params)
 
     def zero_grad(self) -> None:
         """Clear gradients on all managed parameters."""
         for p in self.params:
             p.grad = None
+
+    # -- serialization ------------------------------------------------- #
+    def _hyper(self) -> Dict[str, Any]:
+        """Scalar update-rule state beyond ``lr`` (subclasses extend)."""
+        return {}
+
+    def _load_hyper(self, hyper: Dict[str, Any]) -> None:
+        pass
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable snapshot: lr, scalar hyper-state, per-name slots.
+
+        Arrays are copied, so the snapshot is immune to later steps.
+        """
+        return {
+            "lr": self.lr,
+            "hyper": self._hyper(),
+            "state": {
+                name: {k: np.asarray(v).copy() for k, v in slots.items()}
+                for name, slots in self.state.items()
+            },
+        }
+
+    def load_state_dict(self, sd: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (names must match)."""
+        own = {name for name, _ in self._named()}
+        unknown = set(sd["state"]) - own
+        if unknown:
+            raise KeyError(f"optimizer state for unknown parameters: {sorted(unknown)}")
+        self.lr = float(sd["lr"])
+        self._load_hyper(dict(sd.get("hyper", {})))
+        self.state = {
+            name: {k: np.asarray(v, dtype=np.float64).copy() for k, v in slots.items()}
+            for name, slots in sd["state"].items()
+        }
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -42,22 +118,22 @@ class Optimizer:
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
 
-    def __init__(self, params: Iterable[Parameter], lr: float = 0.01, momentum: float = 0.0):
+    def __init__(self, params: ParamsLike, lr: float = 0.01, momentum: float = 0.0):
         super().__init__(params, lr)
         if not 0.0 <= momentum < 1.0:
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
-        self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
-        for p in self.params:
+        for name, p in self._named():
             if p.grad is None:
                 continue
             g = p.grad
             if self.momentum > 0:
-                v = self._velocity.get(id(p))
+                slots = self.state.setdefault(name, {})
+                v = slots.get("velocity")
                 v = self.momentum * v + g if v is not None else g.copy()
-                self._velocity[id(p)] = v
+                slots["velocity"] = v
                 g = v
             p.data -= self.lr * g
 
@@ -67,7 +143,7 @@ class Adam(Optimizer):
 
     def __init__(
         self,
-        params: Iterable[Parameter],
+        params: ParamsLike,
         lr: float = 1e-3,
         betas: tuple = (0.9, 0.999),
         eps: float = 1e-8,
@@ -79,26 +155,31 @@ class Adam(Optimizer):
             raise ValueError("betas must be in [0, 1)")
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m: Dict[int, np.ndarray] = {}
-        self._v: Dict[int, np.ndarray] = {}
         self._t = 0
+
+    def _hyper(self) -> Dict[str, Any]:
+        return {"t": self._t}
+
+    def _load_hyper(self, hyper: Dict[str, Any]) -> None:
+        self._t = int(hyper.get("t", 0))
 
     def step(self) -> None:
         self._t += 1
         b1, b2 = self.beta1, self.beta2
         bc1 = 1.0 - b1**self._t
         bc2 = 1.0 - b2**self._t
-        for p in self.params:
+        for name, p in self._named():
             if p.grad is None:
                 continue
             g = p.grad
             if self.weight_decay:
                 g = g + self.weight_decay * p.data  # coupled L2 (classic Adam)
-            m = self._m.get(id(p))
-            v = self._v.get(id(p))
+            slots = self.state.setdefault(name, {})
+            m = slots.get("m")
+            v = slots.get("v")
             m = b1 * m + (1 - b1) * g if m is not None else (1 - b1) * g
             v = b2 * v + (1 - b2) * (g * g) if v is not None else (1 - b2) * (g * g)
-            self._m[id(p)], self._v[id(p)] = m, v
+            slots["m"], slots["v"] = m, v
             p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
 
 
@@ -143,10 +224,13 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients so their global L2 norm is at most ``max_norm``.
 
     Returns the pre-clip norm (useful for logging exploding gradients).
+    All-zero gradients return ``0.0`` without touching anything, and a
+    non-finite norm is returned unscaled so callers can skip the step —
+    scaling by ``max_norm / inf`` would silently zero every gradient.
     """
     params = [p for p in params if p.grad is not None]
     total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
-    if total > max_norm and total > 0:
+    if np.isfinite(total) and total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:
             p.grad *= scale

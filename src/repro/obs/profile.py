@@ -22,7 +22,10 @@ extraction-free; ``kernels`` reports the segment-plan engine — plans
 built, plan-cache hit rates (per-batch and store-level) and per-kernel
 timers; ``extraction`` reports the batched extraction engine — per-stage
 timers (BFS sweep / induce / label / pack), links processed batched vs
-through the per-link fallback, and the subgraph-store warm-hit rate.
+through the per-link fallback, and the subgraph-store warm-hit rate;
+``checkpoint`` reports the crash-safety leg when ``--checkpoint-dir``
+is set — bundle writes, bytes, write-time stats and (with ``--resume``)
+the epoch the run resumed from.
 """
 
 from __future__ import annotations
@@ -49,13 +52,21 @@ def run_profile(
     hidden_dim: int = 16,
     seed: int = 0,
     num_workers: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = True,
 ) -> Dict[str, Any]:
-    """Run the instrumented workload; return the JSON-ready report dict."""
+    """Run the instrumented workload; return the JSON-ready report dict.
+
+    With ``checkpoint_dir`` the training leg runs crash-safe (epoch
+    bundles written under that directory, resumed on rerun when
+    ``resume``) and the report gains a ``checkpoint`` section.
+    """
     # Imports are deferred so ``import repro.obs`` stays lightweight.
     from repro import obs
     from repro.datasets import load_dataset
     from repro.models import AMDGCNN
     from repro.seal import (
+        CheckpointConfig,
         SEALDataset,
         TrainConfig,
         classify_pairs,
@@ -64,6 +75,12 @@ def run_profile(
         train_test_split_indices,
     )
     from repro.utils.rng import derive
+
+    ckpt = (
+        CheckpointConfig(dir=checkpoint_dir, every=1, resume=resume)
+        if checkpoint_dir is not None
+        else None
+    )
 
     t_start = time.perf_counter()
     with obs.capture() as registry:
@@ -97,6 +114,7 @@ def run_profile(
             eval_indices=te,
             rng=derive(seed, "train"),
             verbose=False,
+            checkpoint=ckpt,
         )
         eval_result = evaluate(model, ds, te, num_workers=num_workers)
         # A taste of the deployment path: classify a handful of pairs.
@@ -176,6 +194,21 @@ def run_profile(
             )
         },
     }
+    write_hist = registry.histograms.get("checkpoint.write_seconds")
+    checkpoint_report = {
+        "enabled": ckpt is not None,
+        "dir": str(ckpt.dir) if ckpt is not None else None,
+        "writes": counters.get("checkpoint.writes", 0.0),
+        "bytes": counters.get("checkpoint.bytes", 0.0),
+        "resumes": counters.get("checkpoint.resumes", 0.0),
+        "resumed_from_epoch": registry.gauges.get("checkpoint.resumed_from_epoch"),
+        "write_seconds": {
+            "total": write_hist.total if write_hist else 0.0,
+            "mean": write_hist.mean if write_hist else 0.0,
+            "max": write_hist.max if write_hist else 0.0,
+            "count": write_hist.count if write_hist else 0,
+        },
+    }
     return {
         "workload": {
             "dataset": dataset,
@@ -206,6 +239,7 @@ def run_profile(
         "cache": cache._asdict(),
         "kernels": kernels_report,
         "extraction": extraction_report,
+        "checkpoint": checkpoint_report,
         "counters": counters,
         "snapshot": registry.snapshot(),
     }
@@ -234,6 +268,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="CI-sized run (tiny dataset, one epoch); overrides the size flags",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="write epoch checkpoints under DIR (crash-safe training leg)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume training from the latest checkpoint in --checkpoint-dir",
+    )
     parser.add_argument("--json", metavar="PATH", help="also write the report to PATH")
     parser.add_argument(
         "--csv", metavar="PATH", help="also write the metrics snapshot as CSV to PATH"
@@ -248,6 +293,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         batch_size=args.batch_size,
         seed=args.seed,
         num_workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     if args.smoke:
         kwargs.update(scale=0.12, num_targets=40, epochs=1, batch_size=8)

@@ -33,7 +33,19 @@ from repro.seal.labeling import (
     drnl_one_hot,
     drnl_value,
 )
-from repro.seal.trainer import TrainConfig, TrainHistory, train
+from repro.seal.trainer import (
+    NonFiniteLossError,
+    TrainConfig,
+    TrainHistory,
+    train,
+)
+from repro.seal.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __all__ = [
     "LinkTask",
@@ -53,6 +65,12 @@ __all__ = [
     "TrainHistory",
     "TrainResult",
     "train",
+    "NonFiniteLossError",
+    "Checkpoint",
+    "CheckpointConfig",
+    "save_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
     "EvalResult",
     "evaluate",
     "predict_proba",

@@ -159,6 +159,10 @@ class TrainResult(_MappingCompatMixin):
     best_epoch: Optional[int] = None  # 0-based; set when eval runs
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     epochs_run: int = 0
+    #: optimizer steps skipped by the non-finite loss/gradient guard
+    nonfinite_steps: int = 0
+    #: set when the run was restored from a checkpoint (completed epochs)
+    resumed_from_epoch: Optional[int] = None
 
     @property
     def final_auc(self) -> Optional[float]:
@@ -185,6 +189,10 @@ class TrainResult(_MappingCompatMixin):
             out["best_auc"] = float(max(self.eval_auc))
         if self.best_epoch is not None:
             out["best_epoch"] = self.best_epoch
+        if self.nonfinite_steps:
+            out["nonfinite_steps"] = self.nonfinite_steps
+        if self.resumed_from_epoch is not None:
+            out["resumed_from_epoch"] = self.resumed_from_epoch
         return out
 
 

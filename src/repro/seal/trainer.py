@@ -10,13 +10,35 @@ callback protocol (``callbacks=``); ``verbose=`` is a thin shim that
 attaches the default console callback. The forward/backward/optimizer
 phases are timed into the returned :class:`TrainResult` and traced via
 :mod:`repro.obs` when enabled.
+
+Fault tolerance
+---------------
+Two mechanisms keep the long multi-run sweeps (epoch traces, tuning
+loops) alive:
+
+* ``checkpoint=CheckpointConfig(dir, every, keep_last)`` writes a
+  resumable :class:`~repro.seal.checkpoint.Checkpoint` bundle every N
+  completed epochs — and always on the final epoch, an early stop, a
+  ``KeyboardInterrupt`` or a non-finite abort. A rerun with the same
+  config finds the newest bundle and continues **bit-identically** to an
+  uninterrupted run: same losses, same eval AUC/AP trace, same final
+  weights (model, name-keyed optimizer moments and the shuffle RNG
+  stream are all restored exactly).
+* A non-finite guard inspects every batch's loss and gradient norm.
+  A NaN/inf step is *skipped* (the optimizer's moments never see the
+  poison), counted into ``TrainResult.nonfinite_steps`` and the
+  ``train.nonfinite_steps`` obs counter, and after
+  ``TrainConfig.max_nonfinite_steps`` consecutive bad steps the run
+  aborts with :class:`NonFiniteLossError` instead of silently corrupting
+  weights — writing a final checkpoint first when checkpointing is on.
 """
 
 from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence, Union
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -27,16 +49,40 @@ from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.obs.callbacks import ConsoleLogger, TrainingLogger
+from repro.seal.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    checkpoint_path,
+    latest_checkpoint,
+    load_checkpoint,
+    prune_checkpoints,
+    save_checkpoint,
+)
 from repro.seal.dataset import SEALDataset
 from repro.seal.evaluator import EvalResult, evaluate
 from repro.seal.results import TrainHistory, TrainResult
 from repro.utils.logging import get_logger
-from repro.utils.rng import RngLike, derive
+from repro.utils.rng import (
+    RngLike,
+    derive,
+    generator_state,
+    restore_generator_state,
+)
 from repro.utils.timing import Stopwatch
 
-__all__ = ["TrainConfig", "TrainHistory", "TrainResult", "train"]
+__all__ = [
+    "TrainConfig",
+    "TrainHistory",
+    "TrainResult",
+    "NonFiniteLossError",
+    "train",
+]
 
 logger = get_logger("seal.trainer")
+
+
+class NonFiniteLossError(RuntimeError):
+    """Training aborted: too many consecutive non-finite loss/grad steps."""
 
 
 @dataclass
@@ -59,6 +105,9 @@ class TrainConfig:
     patience: Optional[int] = None  # stop after this many epochs w/o AUC improvement
     num_workers: int = 0  # extraction worker processes for the data loader
     prefetch_factor: int = 2  # chunks kept in flight per worker
+    #: abort with NonFiniteLossError after this many *consecutive*
+    #: optimizer steps skipped by the non-finite loss/gradient guard
+    max_nonfinite_steps: int = 5
 
 
 class _EpochCallbackAdapter:
@@ -100,6 +149,61 @@ def _resolve_callbacks(
     return resolved
 
 
+def _training_generators(model: Module, sampler, shuffle_rng) -> Dict[str, object]:
+    """Every RNG stream a resumed run must rewind, keyed stably.
+
+    ``shuffle`` is the trainer-derived batch-order stream; a custom
+    sampler's own generator registers as ``sampler``; dropout layers (any
+    module holding a ``_rng`` generator) register by module position so
+    stochastic regularization also replays bit-identically.
+    """
+    gens: Dict[str, object] = {"shuffle": shuffle_rng}
+    sampler_gen = getattr(sampler, "_gen", None) if sampler is not None else None
+    if isinstance(sampler_gen, np.random.Generator):
+        gens["sampler"] = sampler_gen
+    for i, mod in enumerate(model.modules()):
+        mod_gen = getattr(mod, "_rng", None)
+        if isinstance(mod_gen, np.random.Generator):
+            gens[f"module{i}"] = mod_gen
+    return gens
+
+
+def _snapshot(
+    epoch: int,
+    model: Module,
+    optimizer: Adam,
+    gens: Dict[str, object],
+    result: TrainResult,
+    best_state,
+    config: TrainConfig,
+) -> Checkpoint:
+    """Deep-copied resumable state at an epoch boundary."""
+    snap_result = TrainResult(
+        losses=list(result.losses),
+        eval_auc=list(result.eval_auc),
+        eval_ap=list(result.eval_ap),
+        epoch_seconds=list(result.epoch_seconds),
+        best_epoch=result.best_epoch,
+        phase_seconds=dict(result.phase_seconds),
+        epochs_run=result.epochs_run,
+        nonfinite_steps=result.nonfinite_steps,
+    )
+    return Checkpoint(
+        epoch=epoch,
+        model_state=model.state_dict(),
+        optimizer_state=optimizer.state_dict(),
+        rng_states={k: generator_state(g) for k, g in gens.items()},
+        result=snap_result,
+        best_state=best_state if config.restore_best else None,
+        train_config={
+            "epochs": config.epochs,
+            "batch_size": config.batch_size,
+            "lr": config.lr,
+            "weight_decay": config.weight_decay,
+        },
+    )
+
+
 def train(
     model: Module,
     dataset: SEALDataset,
@@ -112,6 +216,7 @@ def train(
     callbacks: Optional[Iterable[TrainingLogger]] = None,
     verbose: Union[bool, None] = None,
     epoch_callback: Optional[Callable[[int, TrainResult], None]] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> TrainResult:
     """Train ``model`` in place; returns the :class:`TrainResult`.
 
@@ -119,7 +224,7 @@ def train(
     ----------
     model: a DGCNN-family classifier taking a GraphBatch.
     dataset: materialized SEAL samples.
-    train_indices: links used for optimization.
+    train_indices: links used for optimization (must be non-empty).
     config: hyperparameters.
     eval_indices: when given, run held-out evaluation after every epoch
         (feeds the epoch-sweep figures).
@@ -138,11 +243,26 @@ def train(
         callback at all.
     epoch_callback: deprecated — legacy ``callback(epoch, result)`` hook,
         adapted onto the callback list with a :class:`DeprecationWarning`.
+    checkpoint: crash-safety policy. When set, resumable bundles are
+        written into ``checkpoint.dir`` every ``checkpoint.every``
+        epochs (and on interrupt/abort), and — unless
+        ``checkpoint.resume`` is off — an existing bundle is restored
+        and training continues from it, bit-identical to an
+        uninterrupted run.
     """
     if config.epochs <= 0:
         raise ValueError("epochs must be positive")
+    if config.max_nonfinite_steps < 1:
+        raise ValueError("max_nonfinite_steps must be >= 1")
     train_indices = np.asarray(train_indices, dtype=np.int64)
-    optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    if train_indices.size == 0:
+        raise ValueError(
+            "train_indices is empty — an epoch over zero batches would "
+            "silently record a 0.0 loss"
+        )
+    optimizer = Adam(
+        model.named_parameters(), lr=config.lr, weight_decay=config.weight_decay
+    )
     if config.restore_best and eval_indices is None:
         raise ValueError("restore_best requires eval_indices")
     if config.patience is not None and eval_indices is None:
@@ -151,9 +271,38 @@ def train(
         raise ValueError("patience must be >= 1")
     cbs = _resolve_callbacks(callbacks, verbose, epoch_callback)
     shuffle_rng = derive(rng, "shuffle")
+    gens = _training_generators(model, sampler, shuffle_rng)
     result = TrainResult()
     watch = Stopwatch()
     best_state = None
+    start_epoch = 0
+    last_written = 0
+    snapshot: Optional[Checkpoint] = None
+
+    if checkpoint is not None and checkpoint.resume:
+        latest = latest_checkpoint(checkpoint.dir)
+        if latest is not None:
+            ck = load_checkpoint(latest)
+            model.load_state_dict(ck.model_state)
+            optimizer.load_state_dict(ck.optimizer_state)
+            for key, state in ck.rng_states.items():
+                gen = gens.get(key)
+                if gen is not None:
+                    restore_generator_state(gen, state)
+            result = ck.result
+            result.resumed_from_epoch = ck.epoch
+            best_state = ck.best_state
+            start_epoch = ck.epoch
+            last_written = ck.epoch
+            snapshot = ck
+            obs.count("checkpoint.resumes")
+            if obs.enabled():
+                obs.get_registry().gauge("checkpoint.resumed_from_epoch", ck.epoch)
+            logger.info(
+                "resumed from %s: %d/%d epochs already complete",
+                latest.name, ck.epoch, config.epochs,
+            )
+
     model.train()
 
     loader = DataLoader(
@@ -170,24 +319,65 @@ def train(
     for cb in cbs:
         cb.on_train_begin(config, result)
 
+    def write_snapshot(snap: Checkpoint) -> None:
+        nonlocal last_written
+        save_checkpoint(checkpoint_path(checkpoint.dir, snap.epoch), snap)
+        prune_checkpoints(checkpoint.dir, checkpoint.keep_last)
+        last_written = snap.epoch
+
+    bad_streak = 0
+    params = model.parameters()
+    max_norm = config.grad_clip if config.grad_clip is not None else np.inf
     try:
-        for epoch in range(config.epochs):
+        for epoch in range(start_epoch, config.epochs):
+            # Resuming mid-run after an early stop: don't train further.
+            if (
+                config.patience is not None
+                and result.best_epoch is not None
+                and epoch - 1 - result.best_epoch >= config.patience
+            ):
+                break
             epoch_losses: list = []
+            epoch_start = watch.totals["epoch"]
             with watch.segment("epoch"):
                 for batch, labels in loader:
                     with watch.segment("forward"), obs.trace("forward"):
                         optimizer.zero_grad()
                         logits = model(batch)
                         loss = cross_entropy(logits, labels, weight=config.class_weights)
-                    with watch.segment("backward"), obs.trace("backward"):
-                        loss.backward()
+                    loss_val = float(loss.data)
+                    step_ok = bool(np.isfinite(loss_val))
+                    grad_norm = None
+                    if step_ok:
+                        with watch.segment("backward"), obs.trace("backward"):
+                            loss.backward()
                     with watch.segment("optimizer"), obs.trace("optimizer"):
-                        if config.grad_clip is not None:
-                            clip_grad_norm(model.parameters(), config.grad_clip)
-                        optimizer.step()
-                    epoch_losses.append(float(loss.data))
+                        if step_ok:
+                            grad_norm = clip_grad_norm(params, max_norm)
+                            step_ok = bool(np.isfinite(grad_norm))
+                        if step_ok:
+                            optimizer.step()
+                            epoch_losses.append(loss_val)
+                            bad_streak = 0
+                        else:
+                            bad_streak += 1
+                            result.nonfinite_steps += 1
+                            obs.count("train.nonfinite_steps")
+                            logger.warning(
+                                "non-finite step skipped at epoch %d (loss=%s, "
+                                "grad_norm=%s; %d consecutive)",
+                                epoch + 1, loss_val, grad_norm, bad_streak,
+                            )
+                            if bad_streak >= config.max_nonfinite_steps:
+                                raise NonFiniteLossError(
+                                    f"{bad_streak} consecutive non-finite steps "
+                                    f"at epoch {epoch + 1} (last loss={loss_val}, "
+                                    f"grad_norm={grad_norm}); weights are intact "
+                                    "up to the last finite step — check lr "
+                                    f"({config.lr}) and input features"
+                                )
             result.losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
-            result.epoch_seconds.append(watch.totals["epoch"] - sum(result.epoch_seconds))
+            result.epoch_seconds.append(watch.totals["epoch"] - epoch_start)
             result.epochs_run = epoch + 1
 
             if eval_indices is not None:
@@ -206,6 +396,12 @@ def train(
                     if config.restore_best:
                         best_state = model.state_dict()
             _update_phase_seconds(result, watch)
+            if checkpoint is not None:
+                snapshot = _snapshot(
+                    epoch + 1, model, optimizer, gens, result, best_state, config
+                )
+                if (epoch + 1) % checkpoint.every == 0 or epoch + 1 == config.epochs:
+                    write_snapshot(snapshot)
             for cb in cbs:
                 cb.on_epoch_end(epoch, result)
             if (
@@ -217,8 +413,18 @@ def train(
                     "early stop at epoch %d (best was %d)", epoch + 1, result.best_epoch + 1
                 )
                 break
+    except (KeyboardInterrupt, NonFiniteLossError):
+        # Crash-safety: persist the last completed epoch before unwinding
+        # so a rerun resumes instead of starting over.
+        if checkpoint is not None and snapshot is not None and snapshot.epoch > last_written:
+            write_snapshot(snapshot)
+        raise
     finally:
         loader.close()
+    # The loop may have ended via an early-stop break between cadence
+    # writes; persist the final state so resume sees the whole run.
+    if checkpoint is not None and snapshot is not None and snapshot.epoch > last_written:
+        write_snapshot(snapshot)
     for cb in cbs:
         cb.on_train_end(result)
     if config.restore_best and best_state is not None:
@@ -233,7 +439,8 @@ def _update_phase_seconds(result: TrainResult, watch: Stopwatch) -> None:
     ``data`` is everything inside the epoch loop that is not the three
     compute phases — i.e. subgraph extraction + collation (and, with
     ``num_workers > 0``, queue waits) served by the
-    :class:`~repro.data.DataLoader`.
+    :class:`~repro.data.DataLoader`. After a resume the breakdown covers
+    the resumed process's share of the run only.
     """
     forward = watch.totals["forward"]
     backward = watch.totals["backward"]

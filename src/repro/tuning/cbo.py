@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -24,7 +25,13 @@ from repro.tuning.acquisition import expected_improvement
 from repro.tuning.gp import GaussianProcess
 from repro.tuning.space import SearchSpace, Value
 from repro.utils.logging import get_logger
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import (
+    RngLike,
+    ensure_rng,
+    generator_state,
+    restore_generator_state,
+)
+from repro.utils.serialization import load_json, save_json
 
 __all__ = ["Trial", "TuneResult", "CBOTuner", "execute_trial"]
 
@@ -137,16 +144,37 @@ class CBOTuner:
         n_trials: int,
         *,
         callback: Optional[Callable[[Trial], None]] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        resume: bool = True,
     ) -> TuneResult:
-        """Run the full tuning loop for ``n_trials`` evaluations."""
+        """Run the full tuning loop for ``n_trials`` evaluations.
+
+        With ``checkpoint_path`` the trial log (configs, scores, the
+        suggestion stream's RNG state) is rewritten atomically after
+        every trial, so a killed sweep rerun with the same arguments
+        restarts from its completed trials — the surrogate refits on the
+        restored history and the loop finishes the remaining budget —
+        instead of re-evaluating everything.
+        """
         if n_trials < 1:
             raise ValueError("n_trials must be >= 1")
         result = TuneResult()
-        for i in range(n_trials):
+        if checkpoint_path is not None:
+            checkpoint_path = Path(checkpoint_path)
+            if resume and checkpoint_path.exists():
+                result.trials = self._restore_trials(checkpoint_path)
+                obs.count("tuning.trials_restored", float(len(result.trials)))
+                logger.info(
+                    "resumed tuning from %s: %d/%d trials already done",
+                    checkpoint_path, len(result.trials), n_trials,
+                )
+        for i in range(len(result.trials), n_trials):
             with obs.trace("suggest"):
                 config = self.suggest(result.trials)
             trial = execute_trial(evaluator, config, i)
             result.trials.append(trial)
+            if checkpoint_path is not None:
+                self._write_trials(checkpoint_path, result.trials)
             logger.info(
                 "trial %d score=%.4f %.2fs config=%s",
                 i, trial.score, trial.seconds, config,
@@ -154,3 +182,41 @@ class CBOTuner:
             if callback is not None:
                 callback(trial)
         return result
+
+    # -- trial-log checkpointing -------------------------------------- #
+    def _write_trials(self, path: Path, trials: List[Trial]) -> None:
+        save_json(
+            path,
+            {
+                "version": 1,
+                "trials": [
+                    {
+                        "config": t.config,
+                        "score": t.score,
+                        "index": t.index,
+                        "seconds": t.seconds,
+                    }
+                    for t in trials
+                ],
+                "rng_state": generator_state(self._gen),
+            },
+        )
+
+    def _restore_trials(self, path: Path) -> List[Trial]:
+        payload = load_json(path)
+        if payload.get("version") != 1:
+            raise ValueError(f"unsupported tuning checkpoint version in {path}")
+        rng_state = payload.get("rng_state")
+        if rng_state is not None:
+            # Rewind the suggestion stream so resumed sampling continues
+            # where the killed run left off (reproducible sweeps).
+            restore_generator_state(self._gen, rng_state)
+        return [
+            Trial(
+                config=dict(t["config"]),
+                score=float(t["score"]),
+                index=int(t["index"]),
+                seconds=float(t.get("seconds", 0.0)),
+            )
+            for t in payload["trials"]
+        ]

@@ -9,13 +9,21 @@ a single integer and sub-components can derive independent child streams.
 from __future__ import annotations
 
 import zlib
-from typing import List, Union
+from typing import Any, Dict, List, Union
 
 import numpy as np
 
 RngLike = Union[None, int, np.random.Generator]
 
-__all__ = ["RngLike", "ensure_rng", "as_generator", "spawn", "derive"]
+__all__ = [
+    "RngLike",
+    "ensure_rng",
+    "as_generator",
+    "spawn",
+    "derive",
+    "generator_state",
+    "restore_generator_state",
+]
 
 
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:
@@ -78,3 +86,43 @@ def derive(rng: RngLike, *tags: str) -> np.random.Generator:
         base = [int(gen.integers(0, 2**32))]
     tag_words = [zlib.crc32(t.encode("utf-8")) for t in tags]
     return np.random.default_rng(np.random.SeedSequence(base + tag_words))
+
+
+def generator_state(gen: np.random.Generator) -> Dict[str, Any]:
+    """Snapshot ``gen``'s bit-generator state as a JSON-friendly dict.
+
+    The returned dict (NumPy's own ``bit_generator.state`` payload: plain
+    strings and Python ints) fully determines every future draw, so a
+    checkpoint that stores it can resume a stochastic stream mid-run
+    bit-identically via :func:`restore_generator_state`.
+    """
+    state = gen.bit_generator.state
+    return _plain(state)
+
+
+def restore_generator_state(gen: np.random.Generator, state: Dict[str, Any]) -> None:
+    """Rewind ``gen`` to a state captured by :func:`generator_state`.
+
+    The snapshot must come from the same bit-generator family (PCG64
+    cannot resume an MT19937 stream and vice versa).
+    """
+    expected = type(gen.bit_generator).__name__
+    got = state.get("bit_generator")
+    if got != expected:
+        raise ValueError(
+            f"generator state is for {got!r}, cannot restore into {expected!r}"
+        )
+    gen.bit_generator.state = state
+
+
+def _plain(obj: Any) -> Any:
+    """Deep-copy a state payload into plain dict/list/int/str containers."""
+    if isinstance(obj, dict):
+        return {k: _plain(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_plain(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return [_plain(v) for v in obj.tolist()]
+    if isinstance(obj, np.integer):
+        return int(obj)
+    return obj

@@ -3,11 +3,25 @@
 Model parameter blobs are stored as ``.npz`` archives keyed by parameter
 name; experiment results (tables, curves) as JSON with NumPy scalars
 coerced to native Python types so files stay tool-friendly.
+
+Two robustness guarantees back the checkpoint/resume layer:
+
+* **Atomic writes.** Both :func:`save_arrays` and :func:`save_json` write
+  to a temporary sibling file and ``os.replace`` it into place, so a
+  crash mid-write can never leave a truncated archive where a reader (or
+  a resuming training run) expects a valid one.
+* **Strict JSON.** ``json.dumps`` happily emits ``NaN``/``Infinity``,
+  which is *not* JSON — strict parsers (``jq``, browsers, most non-Python
+  tooling) reject it. :func:`to_jsonable` coerces non-finite floats to
+  ``null`` and :func:`save_json` passes ``allow_nan=False`` so a
+  non-finite value can never slip through unnoticed.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import os
 from pathlib import Path
 from typing import Any, Dict, Mapping, Union
 
@@ -24,11 +38,31 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
-def save_arrays(path: PathLike, arrays: Mapping[str, np.ndarray]) -> None:
-    """Write a name→array mapping to an ``.npz`` archive (parents created)."""
-    path = Path(path)
+def _atomic_write_bytes(path: Path, writer) -> None:
+    """Call ``writer(tmp_path)`` then atomically rename onto ``path``."""
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **{k: np.asarray(v) for k, v in arrays.items()})
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        writer(tmp)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # writer failed before the replace
+            tmp.unlink()
+
+
+def save_arrays(path: PathLike, arrays: Mapping[str, np.ndarray]) -> None:
+    """Write a name→array mapping to an ``.npz`` archive (parents created).
+
+    The write is atomic: readers either see the previous archive or the
+    complete new one, never a partially written file.
+    """
+    path = Path(path)
+
+    def writer(tmp: Path) -> None:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **{k: np.asarray(v) for k, v in arrays.items()})
+
+    _atomic_write_bytes(path, writer)
 
 
 def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
@@ -38,10 +72,18 @@ def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
 
 
 def to_jsonable(obj: Any) -> Any:
-    """Recursively convert NumPy containers/scalars into JSON-safe values."""
+    """Recursively convert NumPy containers/scalars into JSON-safe values.
+
+    Non-finite floats (``nan``, ``±inf``) become ``None`` — JSON has no
+    spelling for them, and emitting Python's ``NaN`` extension produces
+    files strict parsers reject.
+    """
     if isinstance(obj, np.ndarray):
         return [to_jsonable(x) for x in obj.tolist()] if obj.ndim else to_jsonable(obj.item())
-    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+    if isinstance(obj, (float, np.floating)):
+        f = float(obj)
+        return f if math.isfinite(f) else None
+    if isinstance(obj, (np.integer, np.bool_)):
         return obj.item()
     if isinstance(obj, Mapping):
         return {str(k): to_jsonable(v) for k, v in obj.items()}
@@ -53,10 +95,14 @@ def to_jsonable(obj: Any) -> Any:
 
 
 def save_json(path: PathLike, obj: Any, *, indent: int = 2) -> None:
-    """Serialize ``obj`` (NumPy-friendly) to pretty-printed JSON."""
+    """Serialize ``obj`` (NumPy-friendly) to pretty-printed JSON, atomically."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_jsonable(obj), indent=indent) + "\n")
+    text = json.dumps(to_jsonable(obj), indent=indent, allow_nan=False) + "\n"
+
+    def writer(tmp: Path) -> None:
+        tmp.write_text(text)
+
+    _atomic_write_bytes(path, writer)
 
 
 def load_json(path: PathLike) -> Any:

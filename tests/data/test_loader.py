@@ -1,5 +1,6 @@
 """DataLoader: parallel == serial bit-identity, fallback, shims, warm."""
 
+import time
 import warnings
 
 import numpy as np
@@ -17,6 +18,11 @@ from repro.seal.trainer import TrainConfig, train
 @pytest.fixture(scope="module")
 def task():
     return load_primekg_like(scale=0.12, num_targets=40, rng=0)
+
+
+def _hang_forever(chunk):
+    """A worker that never produces anything (module-level: picklable)."""
+    time.sleep(3600)
 
 
 @pytest.fixture
@@ -110,6 +116,30 @@ class TestParallelBitIdentity:
 
 
 class TestFallback:
+    @pytest.mark.fault
+    def test_hung_worker_times_out_into_serial(self, task, monkeypatch, multicore):
+        from repro import obs
+
+        # Workers run the patched module-level callable; the parent's
+        # bounded get() must give up, kill the pool and finish the epoch
+        # serially instead of blocking forever on the dead AsyncResult.
+        monkeypatch.setattr(loader_mod, "_worker_extract", _hang_forever)
+        expected = batch_stream(DataLoader(fresh_dataset(task), batch_size=8))
+        with obs.capture() as registry:
+            with DataLoader(
+                fresh_dataset(task), batch_size=8, num_workers=2, worker_timeout=0.5
+            ) as loader:
+                got = batch_stream(loader)
+                assert loader._pool_broken
+        assert registry.counters.get("data.loader.worker_timeouts") == 1.0
+        assert_streams_equal(expected, got)
+
+    def test_invalid_worker_timeout(self, task):
+        with pytest.raises(ValueError):
+            DataLoader(fresh_dataset(task), batch_size=8, worker_timeout=0.0)
+        with pytest.raises(ValueError):
+            DataLoader(fresh_dataset(task), batch_size=8, worker_timeout=-1.0)
+
     def test_worker_crash_falls_back_to_serial(self, task, monkeypatch, multicore):
         def boom(chunk):
             raise RuntimeError("worker exploded")

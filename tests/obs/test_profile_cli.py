@@ -40,6 +40,36 @@ class TestRunProfile:
 
         assert not obs.enabled()
 
+    def test_checkpoint_section_disabled_by_default(self, smoke_report):
+        ck = smoke_report["checkpoint"]
+        assert ck["enabled"] is False
+        assert ck["writes"] == 0.0
+
+
+@pytest.mark.fault
+class TestProfileCheckpoint:
+    def test_checkpoint_dir_wires_crash_safety(self, tmp_path):
+        from repro.seal.checkpoint import list_checkpoints
+
+        report = run_profile(
+            scale=0.12, num_targets=40, epochs=1, batch_size=8,
+            checkpoint_dir=str(tmp_path),
+        )
+        ck = report["checkpoint"]
+        assert ck["enabled"] is True
+        assert ck["writes"] >= 1.0
+        assert ck["bytes"] > 0.0
+        assert ck["write_seconds"]["count"] >= 1
+        assert list_checkpoints(tmp_path)
+        # Rerun with --resume: training is already complete, so the
+        # report records the resumed-from epoch and writes nothing new.
+        resumed = run_profile(
+            scale=0.12, num_targets=40, epochs=1, batch_size=8,
+            checkpoint_dir=str(tmp_path), resume=True,
+        )
+        assert resumed["checkpoint"]["resumes"] == 1.0
+        assert resumed["checkpoint"]["resumed_from_epoch"] == 1.0
+
 
 class TestCliSmoke:
     def test_profile_smoke_emits_breakdown(self, capsys, tmp_path):

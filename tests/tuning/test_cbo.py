@@ -86,3 +86,60 @@ class TestRandomSearch:
     def test_invalid_trials(self):
         with pytest.raises(ValueError):
             random_search(paper_table1_space(), toy_surface, 0)
+
+
+@pytest.mark.fault
+class TestTrialLogResume:
+    """Crash-safe sweeps: the per-trial log restarts a killed run."""
+
+    def test_resumed_sweep_matches_uninterrupted(self, tmp_path):
+        path = tmp_path / "trials.json"
+        space = paper_table1_space()
+        full = CBOTuner(space, n_initial=3, candidate_pool=32, rng=0).run(
+            toy_surface, 7
+        )
+        # "Killed" after 4 trials, then rerun with the full budget.
+        CBOTuner(space, n_initial=3, candidate_pool=32, rng=0).run(
+            toy_surface, 4, checkpoint_path=path
+        )
+        resumed = CBOTuner(space, n_initial=3, candidate_pool=32, rng=0).run(
+            toy_surface, 7, checkpoint_path=path
+        )
+        assert [t.config for t in resumed.trials] == [t.config for t in full.trials]
+        assert [t.score for t in resumed.trials] == [t.score for t in full.trials]
+        assert [t.index for t in resumed.trials] == list(range(7))
+
+    def test_restore_only_runs_remaining_trials(self, tmp_path):
+        path = tmp_path / "trials.json"
+        CBOTuner(paper_table1_space(), n_initial=2, candidate_pool=16, rng=0).run(
+            toy_surface, 3, checkpoint_path=path
+        )
+        calls = []
+
+        def counting_surface(config):
+            calls.append(config)
+            return toy_surface(config)
+
+        res = CBOTuner(paper_table1_space(), n_initial=2, candidate_pool=16, rng=0).run(
+            counting_surface, 5, checkpoint_path=path
+        )
+        assert len(res.trials) == 5
+        assert len(calls) == 2  # only the missing trials were evaluated
+
+    def test_no_resume_flag_starts_fresh(self, tmp_path):
+        path = tmp_path / "trials.json"
+        tuner = CBOTuner(paper_table1_space(), n_initial=2, candidate_pool=16, rng=0)
+        tuner.run(toy_surface, 3, checkpoint_path=path)
+        res = CBOTuner(paper_table1_space(), n_initial=2, candidate_pool=16, rng=0).run(
+            toy_surface, 2, checkpoint_path=path, resume=False
+        )
+        assert [t.index for t in res.trials] == [0, 1]
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "trials.json"
+        path.write_text(json.dumps({"version": 99, "trials": []}))
+        tuner = CBOTuner(paper_table1_space(), n_initial=2, candidate_pool=16, rng=0)
+        with pytest.raises(ValueError, match="version"):
+            tuner.run(toy_surface, 2, checkpoint_path=path)
