@@ -1,9 +1,9 @@
-"""Opt-in regression gates: planned kernels and batched extraction
-must never net-lose to their baselines.
+"""Opt-in regression gates: planned kernels, batched extraction and
+micro-batched serving must never net-lose to their baselines.
 
 Runs ``scripts/check_bench.py`` against the committed
-``results/BENCH_kernels.json`` / ``results/BENCH_extraction.json``
-histories. Marked ``bench_gate`` and kept out of tier-1 (``testpaths``
+``results/BENCH_kernels.json`` / ``results/BENCH_extraction.json`` /
+``results/BENCH_serve.json`` histories. Marked ``bench_gate`` and kept out of tier-1 (``testpaths``
 excludes ``benchmarks/``); select it with
 
     PYTHONPATH=src python -m pytest benchmarks -m bench_gate
@@ -25,6 +25,7 @@ RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_kernels.js
 EXTRACTION_RESULTS = (
     Path(__file__).resolve().parent.parent / "results" / "BENCH_extraction.json"
 )
+SERVE_RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_serve.json"
 
 sys.path.insert(0, str(SCRIPTS))
 import check_bench  # noqa: E402
@@ -89,3 +90,28 @@ def test_extraction_gate_fails_below_break_even(tmp_path):
     assert "FAIL" in out.getvalue()
     # frontier_gather rides along in the file but must not rescue the
     # gate — only batch_extraction records are judged.
+
+
+@pytest.mark.bench_gate
+def test_microbatched_serving_has_not_regressed():
+    if not SERVE_RESULTS.exists():
+        pytest.skip("no BENCH_serve.json yet — run the serve microbenchmark")
+    out = io.StringIO()
+    status = check_bench.check_serve(SERVE_RESULTS, min_geomean=1.0, out=out)
+    print(out.getvalue())
+    assert status == 0, out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_serve_gate_fails_below_break_even(tmp_path):
+    """The serve gate bites: a fabricated net slowdown must fail."""
+    bad = tmp_path / "BENCH_serve.json"
+    bad.write_text(
+        '[{"benchmark": "serve", "unix_time": 0, "records": ['
+        '{"kernel": "serve_warm_coalesce", "requests": 32, "speedup": 0.7},'
+        '{"kernel": "serve_cold_coalesce", "requests": 32, "speedup": 0.9}'
+        "]}]"
+    )
+    out = io.StringIO()
+    assert check_bench.check_serve(bad, min_geomean=1.0, out=out) == 1
+    assert "FAIL" in out.getvalue()

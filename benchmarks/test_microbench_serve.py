@@ -1,0 +1,174 @@
+"""Serving microbenchmarks: coalesced micro-batches vs one-request-per-forward.
+
+The scorer pins every forward at ``micro_batch`` rows (padding short
+chunks) so that scores are bitwise composition-independent — which makes
+per-request serving deliberately wasteful: a 2-pair request still pays a
+full-width forward. Coalescing fills those rows with *other* requests'
+pairs instead of padding. This benchmark times exactly that trade on a
+synthetic knowledge graph:
+
+* ``serve_warm_coalesce`` — warm subgraph store, forwards only: R
+  small requests served one ``LinkScorer.score`` call each vs all R
+  coalesced into one call. Same fixed width, so the probabilities are
+  asserted bit-identical; only the number of forwards changes.
+* ``serve_cold_coalesce`` — cold store, end to end: per-request serving
+  pays R tiny extraction sweeps; coalescing pays one batched sweep plus
+  filled forwards.
+
+Appends every run to ``results/BENCH_serve.json`` — the record
+``scripts/check_bench.py --suite serve`` gates on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.graph.generators import barabasi_albert_edges
+from repro.graph.structure import Graph
+from repro.models import AMDGCNN
+from repro.seal import FeatureConfig, LinkTask, sample_negative_pairs
+from repro.serve import LinkScorer, ModelBundle
+
+RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_serve.json"
+
+MICRO_BATCH = 16
+# (num_requests, pairs_per_request) workloads; every request is far
+# narrower than the forward width, the regime coalescing exists for.
+WORKLOADS = [
+    (32, 2),
+    (16, 4),
+]
+
+
+def best_of(fn: Callable[[], object], repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def make_bundle(num_nodes: int, num_links: int, seed: int):
+    edges = barabasi_albert_edges(num_nodes, 6, rng=seed)
+    etype = np.arange(len(edges)) % 4
+    graph = Graph.from_undirected(
+        num_nodes,
+        edges,
+        node_type=np.arange(num_nodes) % 3,
+        edge_type=etype,
+        edge_attr=np.eye(4)[etype],
+    )
+    gen = np.random.default_rng(seed + 1)
+    pos = edges[gen.choice(len(edges), size=num_links // 2, replace=False)]
+    neg = sample_negative_pairs(graph, num_links - num_links // 2, rng=gen)
+    task = LinkTask(
+        graph=graph,
+        pairs=np.concatenate([pos, neg]),
+        labels=np.zeros(num_links, dtype=np.int64),
+        num_classes=2,
+        feature_config=FeatureConfig(num_node_types=3),
+        name="bench-serve",
+        subgraph_mode="union",
+        num_hops=2,
+        max_subgraph_nodes=100,
+        edge_attr_dim=4,
+    )
+    graph.csr()
+    model = AMDGCNN(
+        task.feature_config.width, task.num_classes, edge_dim=task.edge_attr_dim,
+        heads=2, hidden_dim=16, num_conv_layers=2, sort_k=10, rng=seed,
+    )
+    return ModelBundle.from_model(model, task, extraction_seed=seed), task
+
+
+def bench_serve(records: List[Dict]) -> None:
+    for num_requests, pairs_per in WORKLOADS:
+        total = num_requests * pairs_per
+        bundle, task = make_bundle(2_000, total, seed=3)
+        requests = [
+            task.pairs[lo : lo + pairs_per] for lo in range(0, total, pairs_per)
+        ]
+
+        def fresh() -> LinkScorer:
+            return LinkScorer(
+                bundle, task.graph, micro_batch=MICRO_BATCH, cache_scores=False
+            )
+
+        # -- warm store: forwards only ------------------------------------
+        serial, coalesced = fresh(), fresh()
+        per_request = np.concatenate(
+            [serial.score(r).probs for r in requests]
+        )
+        one_call = coalesced.score(task.pairs).probs
+        # Same fixed forward width => coalescing changes no bits.
+        np.testing.assert_array_equal(per_request, one_call)
+
+        t_serial = best_of(lambda: [serial.score(r) for r in requests])
+        t_coal = best_of(lambda: coalesced.score(task.pairs))
+        records.append(
+            {
+                "kernel": "serve_warm_coalesce",
+                "requests": num_requests,
+                "pairs_per_request": pairs_per,
+                "micro_batch": MICRO_BATCH,
+                "baseline_s": round(t_serial, 6),
+                "batched_s": round(t_coal, 6),
+                "speedup": round(t_serial / t_coal, 3),
+            }
+        )
+
+        # -- cold store: extraction + forwards ----------------------------
+        t_serial = best_of(
+            lambda: [fresh().score(r) for r in requests], repeats=3
+        )
+        t_coal = best_of(lambda: fresh().score(task.pairs), repeats=3)
+        records.append(
+            {
+                "kernel": "serve_cold_coalesce",
+                "requests": num_requests,
+                "pairs_per_request": pairs_per,
+                "micro_batch": MICRO_BATCH,
+                "baseline_s": round(t_serial, 6),
+                "batched_s": round(t_coal, 6),
+                "speedup": round(t_serial / t_coal, 3),
+            }
+        )
+
+
+def geomean(values: List[float]) -> float:
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def test_microbatching_beats_one_request_per_forward():
+    records: List[Dict] = []
+    bench_serve(records)
+
+    run = {
+        "benchmark": "serve",
+        "unix_time": int(time.time()),
+        "records": records,
+    }
+    history = json.loads(RESULTS.read_text()) if RESULTS.exists() else []
+    history.append(run)
+    RESULTS.write_text(json.dumps(history, indent=2) + "\n")
+
+    for r in records:
+        print(
+            f"\n{r['kernel']} R={r['requests']:>3}x{r['pairs_per_request']} "
+            f"B={r['micro_batch']}: per-request {r['baseline_s'] * 1e3:7.1f} ms, "
+            f"coalesced {r['batched_s'] * 1e3:7.1f} ms  ({r['speedup']:.2f}x)"
+        )
+
+    # Acceptance: coalescing must clearly beat one-request-per-forward —
+    # >= 2x geomean with a warm store (pure forward consolidation) and
+    # at least break even plus margin end to end from cold.
+    warm = [r["speedup"] for r in records if r["kernel"] == "serve_warm_coalesce"]
+    assert geomean(warm) >= 2.0, f"warm coalescing speedups too low: {warm}"
+    cold = [r["speedup"] for r in records if r["kernel"] == "serve_cold_coalesce"]
+    assert geomean(cold) >= 1.2, f"cold coalescing speedups too low: {cold}"

@@ -12,12 +12,16 @@ Two suites, each judging the latest run of its history file:
   ``benchmarks/test_microbench_extraction.py``): the geomean speedup of
   batched cold-store extraction over the per-link oracle must stay >=
   the threshold (default 1.0x — "the sweep never loses to the loop").
+* ``serve`` — ``results/BENCH_serve.json`` (appended by
+  ``benchmarks/test_microbench_serve.py``): the geomean speedup of
+  coalesced micro-batch serving over one-request-per-forward must stay
+  >= the threshold (default 1.0x — "coalescing never loses").
 
 The microbenchmarks themselves assert the stronger >= 2x acceptance bar
 when they *record* a run; the gate only guards against net regressions.
 
 Usage:
-    python scripts/check_bench.py [--suite kernels|extraction|all]
+    python scripts/check_bench.py [--suite kernels|extraction|serve|all]
                                   [--results PATH] [--min-geomean 1.0]
                                   [--min-edges 10000]
 
@@ -36,6 +40,7 @@ from pathlib import Path
 _RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 DEFAULT_RESULTS = _RESULTS_DIR / "BENCH_kernels.json"
 DEFAULT_EXTRACTION_RESULTS = _RESULTS_DIR / "BENCH_extraction.json"
+DEFAULT_SERVE_RESULTS = _RESULTS_DIR / "BENCH_serve.json"
 
 
 def geomean(values):
@@ -99,6 +104,26 @@ def extraction_gate_speedups(history):
     return speedups, latest, skipped
 
 
+def serve_gate_speedups(history):
+    """The speedups the serve gate judges: every ``serve_*`` coalescing
+    record (warm and cold) of the most recent run."""
+    if not history:
+        raise ValueError("benchmark history is empty")
+    latest = history[-1]
+    records = [
+        r
+        for r in latest.get("records", [])
+        if str(r.get("kernel", "")).startswith("serve_")
+    ]
+    speedups, skipped = _usable_speedups(records)
+    if not speedups:
+        raise ValueError(
+            "no usable serve_* records in latest run "
+            f"({skipped} null-speedup records skipped)"
+        )
+    return speedups, latest, skipped
+
+
 def _run_gate(results_path, pick, label, hint, *, min_geomean, out):
     path = Path(results_path)
     if not path.exists():
@@ -156,10 +181,22 @@ def check_extraction(results_path, *, min_geomean=1.0, out=sys.stdout):
     )
 
 
+def check_serve(results_path, *, min_geomean=1.0, out=sys.stdout):
+    """Serve gate. Returns 0 on pass, 1 on fail (or data missing)."""
+    return _run_gate(
+        results_path,
+        serve_gate_speedups,
+        "micro-batched serving",
+        "serve",
+        min_geomean=min_geomean,
+        out=out,
+    )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--suite", choices=("kernels", "extraction", "all"), default="kernels"
+        "--suite", choices=("kernels", "extraction", "serve", "all"), default="kernels"
     )
     parser.add_argument("--results", default=None, help="history file override")
     parser.add_argument("--min-geomean", type=float, default=1.0)
@@ -177,6 +214,12 @@ def main(argv=None):
         status |= check_extraction(
             args.results if args.suite == "extraction" and args.results
             else DEFAULT_EXTRACTION_RESULTS,
+            min_geomean=args.min_geomean,
+        )
+    if args.suite in ("serve", "all"):
+        status |= check_serve(
+            args.results if args.suite == "serve" and args.results
+            else DEFAULT_SERVE_RESULTS,
             min_geomean=args.min_geomean,
         )
     return status

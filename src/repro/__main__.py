@@ -7,6 +7,7 @@ Commands
 ``samples``  — regenerate a Figs 7–9 panel (``--dataset`` required)
 ``datasets`` — print Table II schema/stat summary
 ``profile``  — run an instrumented end-to-end workload, emit phase times
+``serve``    — replay a concurrent workload through the scoring server
 ``version``  — print the package version
 """
 
@@ -48,6 +49,10 @@ def main(argv=None) -> int:
         from repro.obs.profile import main as run_profile_cli
 
         return run_profile_cli(rest)
+    if command == "serve":
+        from repro.serve.replay import main as run_serve_cli
+
+        return run_serve_cli(rest)
     if command == "datasets":
         from repro.datasets import PAPER_SCHEMAS, dataset_names, load_dataset
         from repro.experiments.report import render_table

@@ -40,8 +40,18 @@ __all__ = ["build_packed_sample", "build_packed_samples"]
 
 
 def _link_rng(task, seed: RngLike, index: int):
-    """The per-link extraction stream (same in every process and path)."""
-    return derive(seed, "seal-extract", task.name, str(int(index)))
+    """The per-link extraction stream (same in every process and path).
+
+    The stream key defaults to the link's *index* — right for offline
+    tasks, whose pair table is fixed up front. A task may instead define
+    ``link_key(index) -> str`` to key the stream on the link's *content*
+    (the online scorer keys on the ``"u:v"`` pair itself), so the same
+    pair gets a bit-identical subgraph no matter in which order requests
+    arrived and hence which slot it landed in.
+    """
+    key_fn = getattr(task, "link_key", None)
+    key = key_fn(int(index)) if key_fn is not None else str(int(index))
+    return derive(seed, "seal-extract", task.name, key)
 
 
 def build_packed_sample(task, seed: RngLike, index: int) -> PackedSubgraph:

@@ -217,6 +217,32 @@ class SubgraphStore:
         self._edge_tail += e
         self._entries += 1
 
+    def reserve(self, capacity: int) -> None:
+        """Grow the link-index space to at least ``capacity`` entries.
+
+        Stored subgraphs, their slices and the plan cache are untouched —
+        only the offset tables are extended, so a long-lived store (the
+        online scorer's, which meets new pairs for as long as the process
+        serves) can admit them without re-extracting anything. Shrinking
+        is not supported; a smaller ``capacity`` is a no-op.
+        """
+        if capacity <= self.capacity:
+            return
+        extra = int(capacity) - self.capacity
+        self.node_start = np.concatenate(
+            [self.node_start, np.full(extra, -1, dtype=np.int64)]
+        )
+        self.node_count = np.concatenate(
+            [self.node_count, np.zeros(extra, dtype=np.int64)]
+        )
+        self.edge_start = np.concatenate(
+            [self.edge_start, np.full(extra, -1, dtype=np.int64)]
+        )
+        self.edge_count = np.concatenate(
+            [self.edge_count, np.zeros(extra, dtype=np.int64)]
+        )
+        self.capacity = int(capacity)
+
     def clear(self) -> None:
         """Drop every stored subgraph and release the data buffers."""
         self._init_buffers()

@@ -34,6 +34,7 @@ from repro.obs.registry import (
     disable,
     enable,
     enabled,
+    gauge,
     get_registry,
     observe,
     set_registry,
@@ -51,6 +52,7 @@ __all__ = [
     "trace",
     "count",
     "observe",
+    "gauge",
     "capture",
     "to_json",
     "write_json",

@@ -23,9 +23,12 @@ built, plan-cache hit rates (per-batch and store-level) and per-kernel
 timers; ``extraction`` reports the batched extraction engine — per-stage
 timers (BFS sweep / induce / label / pack), links processed batched vs
 through the per-link fallback, and the subgraph-store warm-hit rate;
-``checkpoint`` reports the crash-safety leg when ``--checkpoint-dir``
-is set — bundle writes, bytes, write-time stats and (with ``--resume``)
-the epoch the run resumed from.
+``serve`` reports the deployment leg (the workload ends by serving a
+few coalesced requests through :mod:`repro.serve`) — request/pair
+counts, p50/p99 scoring latency, micro-batch occupancy, queue peak
+depth and score-cache hit rate; ``checkpoint`` reports the crash-safety
+leg when ``--checkpoint-dir`` is set — bundle writes, bytes, write-time
+stats and (with ``--resume``) the epoch the run resumed from.
 """
 
 from __future__ import annotations
@@ -69,11 +72,11 @@ def run_profile(
         CheckpointConfig,
         SEALDataset,
         TrainConfig,
-        classify_pairs,
         evaluate,
         train,
         train_test_split_indices,
     )
+    from repro.serve import LinkScorer, ModelBundle, ScoringServer, ServeConfig
     from repro.utils.rng import derive
 
     ckpt = (
@@ -117,18 +120,16 @@ def run_profile(
             checkpoint=ckpt,
         )
         eval_result = evaluate(model, ds, te, num_workers=num_workers)
-        # A taste of the deployment path: classify a handful of pairs.
-        classify_pairs(
-            model,
-            task.graph,
-            task.pairs[:8],
-            task.feature_config,
-            edge_attr_dim=task.edge_attr_dim,
-            num_hops=task.num_hops,
-            subgraph_mode=task.subgraph_mode,
-            max_subgraph_nodes=task.max_subgraph_nodes,
-            rng=derive(seed, "inference"),
-        )
+        # A taste of the deployment path: bundle the trained model and
+        # serve a few coalesced requests through the scoring server.
+        bundle = ModelBundle.from_model(model, task, extraction_seed=seed)
+        scorer = LinkScorer(bundle, task.graph, rng=derive(seed, "inference"))
+        with ScoringServer(scorer, ServeConfig(max_queue_depth=16)) as server:
+            futures = [server.submit(task.pairs[i : i + 2]) for i in range(0, 8, 2)]
+            for fut in futures:
+                fut.result(timeout=60)
+            # One replayed request to exercise the score cache.
+            server.request(task.pairs[:2], timeout=60)
         cache = ds.cache_info()
 
     leaf_totals = registry.leaf_totals()
@@ -194,6 +195,30 @@ def run_profile(
             )
         },
     }
+    serve_hits = counters.get("serve.cache.hits", 0.0)
+    serve_misses = counters.get("serve.cache.misses", 0.0)
+    serve_lookups = serve_hits + serve_misses
+    lat_hist = registry.histograms.get("serve.latency_seconds")
+    occ_hist = registry.histograms.get("serve.batch.occupancy")
+    serve_report = {
+        "requests": counters.get("serve.requests", 0.0),
+        "pairs": counters.get("serve.pairs", 0.0),
+        "batches": counters.get("serve.batches", 0.0),
+        "rejected": counters.get("serve.rejected", 0.0),
+        "deadline_dropped": counters.get("serve.deadline.dropped", 0.0),
+        "latency_ms": {
+            "p50": lat_hist.percentile(50.0) * 1e3 if lat_hist else 0.0,
+            "p99": lat_hist.percentile(99.0) * 1e3 if lat_hist else 0.0,
+            "count": lat_hist.count if lat_hist else 0,
+        },
+        "batch_occupancy_mean": occ_hist.mean if occ_hist else 0.0,
+        "queue_peak_depth": registry.gauges.get("serve.queue.peak_depth", 0.0),
+        "score_cache": {
+            "hits": serve_hits,
+            "misses": serve_misses,
+            "hit_rate": serve_hits / serve_lookups if serve_lookups else 0.0,
+        },
+    }
     write_hist = registry.histograms.get("checkpoint.write_seconds")
     checkpoint_report = {
         "enabled": ckpt is not None,
@@ -239,6 +264,7 @@ def run_profile(
         "cache": cache._asdict(),
         "kernels": kernels_report,
         "extraction": extraction_report,
+        "serve": serve_report,
         "checkpoint": checkpoint_report,
         "counters": counters,
         "snapshot": registry.snapshot(),

@@ -289,6 +289,12 @@ def observe(name: str, value: float) -> None:
         _REGISTRY.observe(name, value)
 
 
+def gauge(name: str, value: float) -> None:
+    """Set a global gauge to its latest value (no-op while disabled)."""
+    if _ENABLED:
+        _REGISTRY.gauge(name, value)
+
+
 class capture:
     """Enable observability for a block and yield a fresh registry.
 

@@ -51,6 +51,8 @@ __all__ = [
     "latest_checkpoint",
     "list_checkpoints",
     "prune_checkpoints",
+    "write_meta_npz",
+    "read_meta_npz",
 ]
 
 logger = get_logger("seal.checkpoint")
@@ -141,6 +143,43 @@ def _result_from_meta(meta: Dict[str, Any]) -> TrainResult:
     return result
 
 
+def write_meta_npz(
+    path: PathLike, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+) -> Path:
+    """Atomically write ``arrays`` plus a JSON ``meta`` doc as one ``.npz``.
+
+    The single-file bundle idiom shared by training checkpoints and
+    :class:`repro.serve.ModelBundle` artifacts: every array rides under
+    its own entry and all scalar state rides in one JSON document stored
+    as the ``meta`` entry. The write goes to a temporary sibling and is
+    ``os.replace``d into place, so readers never observe a torn file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {name: np.asarray(arr) for name, arr in arrays.items()}
+    payload["meta"] = np.array(json.dumps(to_jsonable(meta)))
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
+
+
+def read_meta_npz(path: PathLike):
+    """Read a bundle written by :func:`write_meta_npz` → ``(arrays, meta)``."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        if "meta" not in data.files:
+            raise ValueError(f"{path} is not a meta-npz bundle (no meta entry)")
+        meta = json.loads(str(data["meta"]))
+        arrays = {k: data[k] for k in data.files if k != "meta"}
+    return arrays, meta
+
+
 def save_checkpoint(path: PathLike, ckpt: Checkpoint) -> Path:
     """Write ``ckpt`` to ``path`` atomically; returns the final path.
 
@@ -149,7 +188,6 @@ def save_checkpoint(path: PathLike, ckpt: Checkpoint) -> Path:
     histogram feed the profile CLI's ``checkpoint`` section.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     arrays: Dict[str, np.ndarray] = {
         f"model:{name}": np.asarray(arr) for name, arr in ckpt.model_state.items()
     }
@@ -172,17 +210,8 @@ def save_checkpoint(path: PathLike, ckpt: Checkpoint) -> Path:
         "has_best_state": ckpt.best_state is not None,
         "train_config": ckpt.train_config,
     }
-    arrays["meta"] = np.array(json.dumps(to_jsonable(meta)))
-
     t0 = time.perf_counter()
-    tmp = path.with_name(path.name + ".tmp")
-    try:
-        with open(tmp, "wb") as fh:
-            np.savez(fh, **arrays)
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():
-            tmp.unlink()
+    write_meta_npz(path, arrays, meta)
     elapsed = time.perf_counter() - t0
     size = path.stat().st_size
     obs.count("checkpoint.writes")
@@ -198,27 +227,27 @@ def save_checkpoint(path: PathLike, ckpt: Checkpoint) -> Path:
 def load_checkpoint(path: PathLike) -> Checkpoint:
     """Read a bundle written by :func:`save_checkpoint`."""
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
-        if "meta" not in data.files:
-            raise ValueError(f"{path} is not a checkpoint bundle (no meta entry)")
-        meta = json.loads(str(data["meta"]))
-        version = meta.get("version")
-        if version != CHECKPOINT_VERSION:
-            raise ValueError(
-                f"checkpoint version {version} unsupported "
-                f"(this build reads version {CHECKPOINT_VERSION})"
-            )
-        model_state: Dict[str, np.ndarray] = {}
-        best_state: Dict[str, np.ndarray] = {}
-        optim_arrays: Dict[str, Dict[str, np.ndarray]] = {}
-        for key in data.files:
-            if key.startswith("model:"):
-                model_state[key[len("model:"):]] = data[key]
-            elif key.startswith("best:"):
-                best_state[key[len("best:"):]] = data[key]
-            elif key.startswith("optim:"):
-                _, slot, name = key.split(":", 2)
-                optim_arrays.setdefault(name, {})[slot] = data[key]
+    try:
+        arrays, meta = read_meta_npz(path)
+    except ValueError:
+        raise ValueError(f"{path} is not a checkpoint bundle (no meta entry)")
+    version = meta.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {version} unsupported "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    model_state: Dict[str, np.ndarray] = {}
+    best_state: Dict[str, np.ndarray] = {}
+    optim_arrays: Dict[str, Dict[str, np.ndarray]] = {}
+    for key, arr in arrays.items():
+        if key.startswith("model:"):
+            model_state[key[len("model:"):]] = arr
+        elif key.startswith("best:"):
+            best_state[key[len("best:"):]] = arr
+        elif key.startswith("optim:"):
+            _, slot, name = key.split(":", 2)
+            optim_arrays.setdefault(name, {})[slot] = arr
     optimizer_state = {
         "lr": meta["optimizer"]["lr"],
         "hyper": meta["optimizer"].get("hyper", {}),

@@ -1,28 +1,32 @@
-"""Inference on unlabeled node pairs: the deployment-side API.
+"""Deprecated inference entry point — superseded by :mod:`repro.serve`.
 
-After training a classifier on a :class:`~repro.seal.LinkTask`, a
-downstream user wants class probabilities for *new* pairs — the missing
-links the paper's introduction motivates completing. ``classify_pairs``
-runs the same extraction → features → model pipeline for arbitrary
-pairs, without requiring labels, by wrapping them in an unlabeled
-throwaway task served through the :mod:`repro.data` loader — so
-inference shares the exact extraction/collation code path (and the
-``num_workers`` scaling) with training and evaluation.
+``classify_pairs`` was the deployment-side API: every caller re-supplied
+``feature_config`` / ``num_hops`` / ``subgraph_mode`` /
+``max_subgraph_nodes`` by hand (a silent wrong-width-features hazard on
+any mismatch) and the implementation faked an unlabeled task with
+``num_classes=1``. The redesigned path bundles all of that once:
+
+>>> from repro.serve import ModelBundle, LinkScorer
+>>> bundle = ModelBundle.from_model(model, task)     # or ModelBundle.load(path)
+>>> scorer = LinkScorer(bundle, graph)
+>>> result = scorer.score(pairs)                     # typed ScoreResult
+>>> result.probs, result.predicted_names
+
+``classify_pairs`` remains as a thin :class:`DeprecationWarning` shim
+delegating to :class:`~repro.serve.LinkScorer` (the same pattern that
+retired ``SEALDataset.iter_batches``/``prepare``). The class count now
+comes from the model's output head instead of a lying label array.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
 
-from repro import obs
-from repro.data.loader import DataLoader
 from repro.graph.structure import Graph
-from repro.nn import functional as F
 from repro.nn.module import Module
-from repro.nn.tensor import no_grad
-from repro.seal.dataset import LinkTask, SEALDataset
 from repro.seal.features import FeatureConfig
 from repro.utils.rng import RngLike, derive
 
@@ -43,40 +47,34 @@ def classify_pairs(
     num_workers: int = 0,
     rng: RngLike = 0,
 ) -> np.ndarray:
-    """Class probabilities ``(M, C)`` for arbitrary node pairs.
+    """Deprecated: class probabilities ``(M, C)`` for arbitrary node pairs.
 
-    Parameters mirror the :class:`~repro.seal.LinkTask` the model was
-    trained on — extraction and feature settings must match training or
-    the feature widths will disagree. ``num_workers > 0`` fans subgraph
-    extraction out over a worker pool (results are identical to serial).
+    Thin shim over :class:`repro.serve.LinkScorer`; build a
+    :class:`~repro.serve.ModelBundle` and a scorer instead. The class
+    count is derived from the model's output head. ``batch_size`` and
+    ``num_workers`` are accepted for signature compatibility — the
+    scorer owns its (fixed) forward width and extracts serially through
+    the batched engine.
     """
+    warnings.warn(
+        "classify_pairs() is deprecated; build a repro.serve.ModelBundle and "
+        "use repro.serve.LinkScorer.score() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     pairs = np.asarray(pairs, dtype=np.int64)
     if pairs.ndim != 2 or pairs.shape[1] != 2:
         raise ValueError("pairs must have shape (M, 2)")
-    task = LinkTask(
-        graph=graph,
-        pairs=pairs,
-        labels=np.zeros(len(pairs), dtype=np.int64),
-        num_classes=1,
+    from repro.serve import LinkScorer, ModelBundle
+
+    bundle = ModelBundle.from_model(
+        model,
         feature_config=feature_config,
-        name="inference",
-        subgraph_mode=subgraph_mode,
-        num_hops=num_hops,
-        max_subgraph_nodes=max_subgraph_nodes,
         edge_attr_dim=edge_attr_dim,
+        num_hops=num_hops,
+        subgraph_mode=subgraph_mode,
+        max_subgraph_nodes=max_subgraph_nodes,
+        task_name="inference",
     )
-    dataset = SEALDataset(task, rng=derive(rng, "inference"))
-    was_training = model.training
-    model.eval()
-    chunks = []
-    try:
-        with no_grad(), obs.trace("inference"), DataLoader(
-            dataset, batch_size=batch_size, num_workers=num_workers
-        ) as loader:
-            for batch, _ in loader:
-                with obs.trace("forward"):
-                    chunks.append(F.softmax(model(batch), axis=-1).data)
-    finally:
-        model.train(was_training)
-    obs.count("seal.inference.pairs", float(len(pairs)))
-    return np.concatenate(chunks, axis=0)
+    scorer = LinkScorer(bundle, graph, rng=derive(rng, "inference"))
+    return scorer.score(pairs).probs

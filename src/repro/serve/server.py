@@ -1,0 +1,264 @@
+"""In-process scoring server: coalescing queue + admission control.
+
+:class:`ScoringServer` wraps one :class:`~repro.serve.LinkScorer` behind
+a thread-safe submission queue. A single worker thread drains the queue,
+drops requests whose deadline already passed (*before* any extraction is
+spent on them), concatenates the survivors' pairs into one
+:meth:`LinkScorer.score` call — one batched extraction sweep, shared
+plan-cache hits, fixed-width forwards — and slices the coalesced result
+back into per-request :class:`~repro.serve.ScoreResult` rows. Because
+the scorer's forwards are composition-independent, coalescing changes
+latency and throughput but never a single bit of any probability.
+
+Admission control is typed, not exceptional: a submit against a full
+queue resolves immediately to :class:`~repro.serve.Rejected`
+(``reason="queue_full"``), deadline drops resolve to
+``reason="deadline"``, and a shutdown flushes the backlog with
+``reason="shutdown"`` — callers always get *an* answer.
+
+Requests may be submitted before :meth:`ScoringServer.start`; they queue
+up (still subject to the depth cap) and are served once the worker runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.serve.scorer import LinkScorer, Rejected, ScoreOutcome, ScoreRequest
+
+__all__ = ["ServeConfig", "ScoringServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Queueing policy of one :class:`ScoringServer`.
+
+    Parameters
+    ----------
+    max_queue_depth: pending requests admitted before submissions are
+        shed with ``Rejected("queue_full")``.
+    max_batch_pairs: pair budget of one coalesced scoring call; the
+        worker stops draining the queue once the batch holds this many
+        pairs (a single oversized request still runs alone).
+    batch_window_s: how long the worker lingers for more arrivals after
+        picking up the first queued request — the micro-batching window.
+    default_deadline_s: latency budget applied to requests submitted
+        without an explicit one (``None`` = no deadline).
+    """
+
+    max_queue_depth: int = 64
+    max_batch_pairs: int = 64
+    batch_window_s: float = 0.002
+    default_deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.max_batch_pairs < 1:
+            raise ValueError("max_batch_pairs must be >= 1")
+
+
+class ScoringServer:
+    """Serve concurrent scoring requests through one shared scorer."""
+
+    def __init__(self, scorer: LinkScorer, config: Optional[ServeConfig] = None):
+        self.scorer = scorer
+        self.config = config or ServeConfig()
+        self._queue: List[Tuple[ScoreRequest, Future]] = []
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        self._worker: Optional[threading.Thread] = None
+        self._running = False
+        self._closed = False
+        self._drain_on_stop = True
+        self._peak_depth = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ScoringServer":
+        """Launch the worker thread (idempotent until :meth:`stop`)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("server already stopped")
+            if self._running:
+                return self
+            self._running = True
+        self._worker = threading.Thread(
+            target=self._serve_loop, name="repro-serve", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the worker; flush or reject whatever is still queued.
+
+        With ``drain`` the worker finishes the backlog before exiting;
+        without it, queued requests resolve to ``Rejected("shutdown")``.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._drain_on_stop = drain
+            self._arrived.notify_all()
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+        with self._lock:
+            leftovers = self._queue
+            self._queue = []
+        for request, future in leftovers:
+            obs.count("serve.rejected")
+            future.set_result(
+                Rejected(
+                    reason="shutdown",
+                    detail="server stopped before the request was served",
+                    request_id=request.request_id,
+                )
+            )
+        self._running = False
+
+    def __enter__(self) -> "ScoringServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # submission side
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        pairs,
+        *,
+        request_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> "Future[ScoreOutcome]":
+        """Enqueue a request; returns a future of its typed outcome.
+
+        ``deadline_s`` is a relative latency budget (seconds from now);
+        omitted, the config's ``default_deadline_s`` applies. A full
+        queue resolves the future immediately with
+        ``Rejected("queue_full")`` — admission control never raises.
+        """
+        budget = deadline_s if deadline_s is not None else self.config.default_deadline_s
+        request = ScoreRequest.with_budget(pairs, budget, request_id=request_id)
+        future: "Future[ScoreOutcome]" = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("server already stopped")
+            if len(self._queue) >= self.config.max_queue_depth:
+                obs.count("serve.rejected")
+                future.set_result(
+                    Rejected(
+                        reason="queue_full",
+                        detail=(
+                            f"queue depth {len(self._queue)} at the "
+                            f"{self.config.max_queue_depth} cap"
+                        ),
+                        request_id=request_id,
+                    )
+                )
+                return future
+            self._queue.append((request, future))
+            depth = len(self._queue)
+            self._peak_depth = max(self._peak_depth, depth)
+            obs.gauge("serve.queue.depth", float(depth))
+            obs.gauge("serve.queue.peak_depth", float(self._peak_depth))
+            self._arrived.notify()
+        return future
+
+    def request(
+        self,
+        pairs,
+        *,
+        request_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> ScoreOutcome:
+        """Blocking convenience: submit and wait for the outcome."""
+        return self.submit(
+            pairs, request_id=request_id, deadline_s=deadline_s
+        ).result(timeout=timeout)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def _take_batch(self) -> List[Tuple[ScoreRequest, Future]]:
+        """Block until work or shutdown; drain up to the pair budget."""
+        with self._lock:
+            while not self._queue and not self._closed:
+                self._arrived.wait()
+            if not self._queue or (self._closed and not self._drain_on_stop):
+                return []
+        # Linger briefly so concurrent submitters can join this batch.
+        if self.config.batch_window_s > 0:
+            time.sleep(self.config.batch_window_s)
+        taken: List[Tuple[ScoreRequest, Future]] = []
+        with self._lock:
+            budget = self.config.max_batch_pairs
+            total = 0
+            while self._queue:
+                pairs = len(self._queue[0][0].pairs)
+                if taken and total + pairs > budget:
+                    break
+                request, future = self._queue.pop(0)
+                taken.append((request, future))
+                total += pairs
+            obs.gauge("serve.queue.depth", float(len(self._queue)))
+        return taken
+
+    def _serve_batch(self, taken: List[Tuple[ScoreRequest, Future]]) -> None:
+        # Deadline check happens here — before extraction — so an
+        # expired request costs nothing beyond this comparison.
+        now = time.monotonic()
+        live: List[Tuple[ScoreRequest, Future]] = []
+        for request, future in taken:
+            if request.expired(now):
+                obs.count("serve.deadline.dropped")
+                obs.count("serve.rejected")
+                future.set_result(
+                    Rejected(
+                        reason="deadline",
+                        detail="deadline expired while queued",
+                        request_id=request.request_id,
+                    )
+                )
+            else:
+                live.append((request, future))
+        if not live:
+            return
+        obs.count("serve.batches")
+        obs.observe("serve.batch.requests", float(len(live)))
+        all_pairs = np.concatenate([request.pairs for request, _ in live])
+        try:
+            combined = self.scorer.score(all_pairs)
+        except Exception as exc:  # surface scoring failures per-request
+            for _, future in live:
+                future.set_exception(exc)
+            return
+        lo = 0
+        for request, future in live:
+            hi = lo + len(request.pairs)
+            future.set_result(combined.narrow(lo, hi, request_id=request.request_id))
+            lo = hi
+
+    def _serve_loop(self) -> None:
+        while True:
+            taken = self._take_batch()
+            if not taken:
+                return  # closed and (when draining) queue empty
+            self._serve_batch(taken)

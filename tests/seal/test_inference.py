@@ -86,3 +86,20 @@ class TestClassifyPairs:
         task, ds, model, te = trained
         with pytest.raises(ValueError):
             classify_pairs(model, task.graph, np.array([1, 2, 3]), task.feature_config)
+
+    def test_deprecated_shim_matches_scorer(self, trained):
+        """classify_pairs warns and returns exactly LinkScorer's probs."""
+        task, ds, model, te = trained
+        from repro.serve import LinkScorer, ModelBundle
+        from repro.utils.rng import derive
+
+        with pytest.warns(DeprecationWarning, match="LinkScorer"):
+            shim = classify_pairs(
+                model, task.graph, task.pairs[:5], task.feature_config,
+                edge_attr_dim=task.edge_attr_dim, num_hops=task.num_hops,
+                subgraph_mode=task.subgraph_mode,
+                max_subgraph_nodes=task.max_subgraph_nodes, rng=3,
+            )
+        bundle = ModelBundle.from_model(model, task, task_name="inference")
+        scorer = LinkScorer(bundle, task.graph, rng=derive(3, "inference"))
+        np.testing.assert_array_equal(shim, scorer.score(task.pairs[:5]).probs)
