@@ -1,9 +1,11 @@
-"""Opt-in regression gates: planned kernels, batched extraction and
-micro-batched serving must never net-lose to their baselines.
+"""Opt-in regression gates: planned kernels, batched extraction,
+micro-batched serving and the parallel loader at scale must never
+net-lose to their baselines.
 
 Runs ``scripts/check_bench.py`` against the committed
 ``results/BENCH_kernels.json`` / ``results/BENCH_extraction.json`` /
-``results/BENCH_serve.json`` histories. Marked ``bench_gate`` and kept out of tier-1 (``testpaths``
+``results/BENCH_serve.json`` / ``results/BENCH_scale.json`` histories.
+Marked ``bench_gate`` and kept out of tier-1 (``testpaths``
 excludes ``benchmarks/``); select it with
 
     PYTHONPATH=src python -m pytest benchmarks -m bench_gate
@@ -26,6 +28,7 @@ EXTRACTION_RESULTS = (
     Path(__file__).resolve().parent.parent / "results" / "BENCH_extraction.json"
 )
 SERVE_RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_serve.json"
+SCALE_RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_scale.json"
 
 sys.path.insert(0, str(SCRIPTS))
 import check_bench  # noqa: E402
@@ -115,3 +118,45 @@ def test_serve_gate_fails_below_break_even(tmp_path):
     out = io.StringIO()
     assert check_bench.check_serve(bad, min_geomean=1.0, out=out) == 1
     assert "FAIL" in out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_parallel_loader_has_not_regressed():
+    if not SCALE_RESULTS.exists():
+        pytest.skip("no BENCH_scale.json yet — run the store microbenchmark")
+    out = io.StringIO()
+    status = check_bench.check_scale(SCALE_RESULTS, min_geomean=1.0, out=out)
+    print(out.getvalue())
+    assert status == 0, out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_scale_gate_fails_below_break_even(tmp_path):
+    """The scale gate bites on a multi-core-recorded net slowdown."""
+    bad = tmp_path / "BENCH_scale.json"
+    bad.write_text(
+        '[{"benchmark": "scale", "unix_time": 0, "records": ['
+        '{"kernel": "parallel_loader", "usable_cores": 4, "speedup": 0.7},'
+        '{"kernel": "mmap_open", "usable_cores": 4, "speedup": 50.0}'
+        "]}]"
+    )
+    out = io.StringIO()
+    assert check_bench.check_scale(bad, min_geomean=1.0, out=out) == 1
+    assert "FAIL" in out.getvalue()
+    # mmap_open rides along in the file but must not rescue the gate —
+    # only parallel_loader records are judged.
+
+
+@pytest.mark.bench_gate
+def test_scale_gate_exempts_single_core_runs(tmp_path):
+    """A slowdown recorded on one core is noise, not regression: warn, pass."""
+    lone = tmp_path / "BENCH_scale.json"
+    lone.write_text(
+        '[{"benchmark": "scale", "unix_time": 0, "records": ['
+        '{"kernel": "parallel_loader", "usable_cores": 1, "speedup": 0.7}'
+        "]}]"
+    )
+    out = io.StringIO()
+    assert check_bench.check_scale(lone, min_geomean=1.0, out=out) == 0
+    assert "WARNING" in out.getvalue()
+    assert "exempt" in out.getvalue()

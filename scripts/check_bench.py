@@ -16,12 +16,20 @@ Two suites, each judging the latest run of its history file:
   ``benchmarks/test_microbench_serve.py``): the geomean speedup of
   coalesced micro-batch serving over one-request-per-forward must stay
   >= the threshold (default 1.0x — "coalescing never loses").
+* ``scale`` — ``results/BENCH_scale.json`` (appended by
+  ``benchmarks/test_microbench_store.py``): the ``parallel_loader``
+  speedup (2-worker warm over serial at 10⁵ nodes on an mmap graph)
+  must stay >= the threshold (default 1.0x — "parallel never loses").
+  Runs recorded on a single usable core are exempt with a warning:
+  two workers time-slicing one core cannot beat serial, so such a run
+  carries no regression signal (the microbenchmark itself bounds the
+  overhead there).
 
 The microbenchmarks themselves assert the stronger >= 2x acceptance bar
 when they *record* a run; the gate only guards against net regressions.
 
 Usage:
-    python scripts/check_bench.py [--suite kernels|extraction|serve|all]
+    python scripts/check_bench.py [--suite kernels|extraction|serve|scale|all]
                                   [--results PATH] [--min-geomean 1.0]
                                   [--min-edges 10000]
 
@@ -41,6 +49,7 @@ _RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 DEFAULT_RESULTS = _RESULTS_DIR / "BENCH_kernels.json"
 DEFAULT_EXTRACTION_RESULTS = _RESULTS_DIR / "BENCH_extraction.json"
 DEFAULT_SERVE_RESULTS = _RESULTS_DIR / "BENCH_serve.json"
+DEFAULT_SCALE_RESULTS = _RESULTS_DIR / "BENCH_scale.json"
 
 
 def geomean(values):
@@ -124,6 +133,79 @@ def serve_gate_speedups(history):
     return speedups, latest, skipped
 
 
+def scale_gate_records(history):
+    """The records the scale gate judges: ``parallel_loader`` of the most
+    recent run (``mmap_open`` and ``ring_transport`` ride along in the
+    file but are covered by the microbenchmark's own assertions)."""
+    if not history:
+        raise ValueError("benchmark history is empty")
+    latest = history[-1]
+    records = [
+        r for r in latest.get("records", []) if r.get("kernel") == "parallel_loader"
+    ]
+    if not records:
+        raise ValueError("no parallel_loader records in latest run")
+    return records, latest
+
+
+def check_scale(results_path, *, min_geomean=1.0, out=sys.stdout):
+    """Scale gate. Returns 0 on pass, 1 on fail (or data missing).
+
+    Unlike the other gates this one is hardware-conditional: a
+    ``parallel_loader`` record made with fewer than 2 usable cores is
+    exempted (warned about, not judged) — on one core the parallel
+    loader can only time-slice, so its speedup measures the scheduler,
+    not the code.
+    """
+    path = Path(results_path)
+    if not path.exists():
+        print(f"check_bench: {path} not found — run the scale "
+              "microbenchmark first", file=out)
+        return 1
+    try:
+        history = json.loads(path.read_text())
+        records, latest = scale_gate_records(history)
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"check_bench: unusable benchmark data: {exc}", file=out)
+        return 1
+    judged = [r for r in records if r.get("usable_cores", 0) >= 2]
+    exempt = len(records) - len(judged)
+    stamp = latest.get("unix_time", "?")
+    if exempt:
+        print(
+            f"check_bench: WARNING — {exempt} parallel_loader record(s) "
+            "recorded on < 2 usable cores are exempt from the gate "
+            "(single-core runs carry no parallel-speedup signal)", file=out,
+        )
+    if not judged:
+        print(f"check_bench: run@{stamp}: no multi-core parallel_loader "
+              "records to judge — OK (exempt)", file=out)
+        return 0
+    speedups, skipped = _usable_speedups(judged)
+    if not speedups:
+        print(f"check_bench: unusable benchmark data: all {len(judged)} "
+              "judged records have null speedups", file=out)
+        return 1
+    gm = geomean(speedups)
+    print(
+        f"check_bench: run@{stamp}: geomean parallel-loader speedup "
+        f"{gm:.2f}x over {len(speedups)} records {sorted(speedups)}", file=out,
+    )
+    if skipped:
+        print(
+            f"check_bench: WARNING — skipped {skipped} record(s) with null "
+            "(non-finite) speedup; rerun the microbenchmark", file=out,
+        )
+    if gm < min_geomean:
+        print(
+            f"check_bench: FAIL — geomean {gm:.2f}x below the "
+            f"{min_geomean:.2f}x floor: parallel loader regressed", file=out,
+        )
+        return 1
+    print("check_bench: OK", file=out)
+    return 0
+
+
 def _run_gate(results_path, pick, label, hint, *, min_geomean, out):
     path = Path(results_path)
     if not path.exists():
@@ -196,7 +278,9 @@ def check_serve(results_path, *, min_geomean=1.0, out=sys.stdout):
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--suite", choices=("kernels", "extraction", "serve", "all"), default="kernels"
+        "--suite",
+        choices=("kernels", "extraction", "serve", "scale", "all"),
+        default="kernels",
     )
     parser.add_argument("--results", default=None, help="history file override")
     parser.add_argument("--min-geomean", type=float, default=1.0)
@@ -220,6 +304,12 @@ def main(argv=None):
         status |= check_serve(
             args.results if args.suite == "serve" and args.results
             else DEFAULT_SERVE_RESULTS,
+            min_geomean=args.min_geomean,
+        )
+    if args.suite in ("scale", "all"):
+        status |= check_scale(
+            args.results if args.suite == "scale" and args.results
+            else DEFAULT_SCALE_RESULTS,
             min_geomean=args.min_geomean,
         )
     return status

@@ -74,6 +74,8 @@ def build_packed_sample(task, seed: RngLike, index: int) -> PackedSubgraph:
     feats = build_node_features(sub, task.feature_config)
     g = sub.graph
     obs.count("extraction.fallback.links")
+    if getattr(task.graph, "is_mmap", False):
+        obs.count("store.mmap.extracted_links")
     return PackedSubgraph(
         index=int(index),
         num_nodes=g.num_nodes,

@@ -22,6 +22,20 @@ Parallel mode dispatches chunks of missing links to a persistent
 queue), and falls back to serial extraction — with a warning, never an
 error — when the platform cannot start workers or a worker crashes.
 
+Zero-copy transport (:mod:`repro.store`)
+----------------------------------------
+Two copy chains of the original design are gone. *Inbound*: when the
+task's graph is path-backed (``Graph.save``/``Graph.open``), workers
+receive the storage path instead of a pickled graph and mmap the arrays
+read-only — one physical copy of the graph no matter how many workers.
+*Outbound*: extracted chunks travel through a
+:class:`~repro.store.SampleRing` — workers pack samples columnarly into
+a shared-memory slot and return a tiny descriptor; the parent adopts
+zero-copy views and frees the slot. Chunks that outgrow their slot (or
+hosts without shared memory) fall back to the original pickle path, so
+the ring is purely an optimization: ordering and bytes are identical
+either way.
+
 Loader phases are traced through :mod:`repro.obs` as ``extraction``
 (serial misses), ``queue-wait`` (parent blocked on worker results) and
 ``collate``, which is what ``python -m repro profile --workers N``
@@ -30,6 +44,7 @@ reports as the loader breakdown.
 
 from __future__ import annotations
 
+import copy
 import os
 from collections import deque
 from multiprocessing import TimeoutError as MpTimeoutError
@@ -42,6 +57,7 @@ from repro.data.samplers import Sampler, SequentialSampler, ShuffleSampler
 from repro.data.store import PackedSubgraph, SubgraphStore
 from repro.graph.batch import GraphBatch
 from repro.nn.kernels import PlanCache
+from repro.store.ring import SampleRing
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngLike
 
@@ -64,28 +80,48 @@ _DEGRADE_WARNED = False
 
 # -- worker-side plumbing ---------------------------------------------- #
 # The pool initializer stashes the (task, seed) payload in a module
-# global; with the default fork start method this is nearly free, and
-# with spawn the payload is pickled once per worker instead of per chunk.
+# global. When the task's graph is path-backed, the payload carries the
+# storage path and the worker mmaps the arrays read-only — the graph is
+# never pickled and exists once in physical memory. Only in-memory-only
+# graphs still ride the pickle path (free under fork, once-per-worker
+# under spawn).
 
 _WORKER_STATE: Optional[tuple] = None
+_WORKER_RING: Optional[SampleRing] = None
 
 
 def _worker_init(payload: tuple) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = payload
+    global _WORKER_STATE, _WORKER_RING
+    task, graph_path, seed, ring_meta = payload
+    if graph_path is not None:
+        from repro.graph.structure import Graph
+
+        task.graph = Graph.open(graph_path, mmap=True)
+    _WORKER_STATE = (task, seed)
+    _WORKER_RING = None if ring_meta is None else SampleRing.attach(*ring_meta)
 
 
-def _worker_extract(chunk: List[int]) -> List[PackedSubgraph]:
+def _worker_extract(chunk: List[int], slot: int = -1):
     """Extract a chunk of links inside a worker process.
 
     Uses the batched engine (one multi-source BFS sweep per chunk);
     per-link streams keep results independent of the chunking, so worker
     output stays bit-identical to serial extraction.
+
+    With a ring slot assigned (``slot >= 0``) the samples are packed
+    into shared memory and only a descriptor returns; a chunk too big
+    for its slot — or a loader without a ring — returns the samples by
+    value (the pickle fallback).
     """
     from repro.data.extraction import build_packed_samples
 
     task, seed = _WORKER_STATE
-    return build_packed_samples(task, seed, chunk)
+    samples = build_packed_samples(task, seed, chunk)
+    if slot >= 0 and _WORKER_RING is not None:
+        header = _WORKER_RING.write(slot, samples)
+        if header is not None:
+            return ("shm", slot, header)
+    return ("pkl", slot, samples)
 
 
 def collate_from_store(
@@ -189,6 +225,13 @@ class DataLoader:
         declaring the pool hung and falling back to serial extraction
         (a *hung* — not dead — worker would otherwise block the epoch
         forever). ``None`` waits unboundedly.
+    use_ring: move worker results through a shared-memory
+        :class:`~repro.store.SampleRing` instead of pickling them
+        through the pool's result pipe. Purely an optimization — any
+        chunk that does not fit its slot falls back to the pickle path.
+    ring_slot_bytes: capacity of each ring slot (default 4 MiB; the
+        ring holds ``num_workers * prefetch_factor`` slots, one per
+        in-flight chunk).
     """
 
     def __init__(
@@ -205,6 +248,8 @@ class DataLoader:
         chunk_size: Optional[int] = None,
         force_workers: bool = False,
         worker_timeout: Optional[float] = 60.0,
+        use_ring: bool = True,
+        ring_slot_bytes: int = 4 << 20,
     ):
         if num_workers < 0:
             raise ValueError("num_workers must be non-negative")
@@ -212,6 +257,8 @@ class DataLoader:
             raise ValueError("prefetch_factor must be >= 1")
         if worker_timeout is not None and worker_timeout <= 0:
             raise ValueError("worker_timeout must be positive (or None)")
+        if ring_slot_bytes < 64:
+            raise ValueError("ring_slot_bytes must be at least 64")
         if num_workers > 0 and not force_workers and usable_cores() <= 1:
             global _DEGRADE_WARNED
             obs.count("data.loader.workers_degraded")
@@ -236,8 +283,12 @@ class DataLoader:
         self.prefetch_factor = int(prefetch_factor)
         self.chunk_size = chunk_size
         self.worker_timeout = worker_timeout
+        self.use_ring = bool(use_ring)
+        self.ring_slot_bytes = int(ring_slot_bytes)
         self._pool = None
         self._pool_broken = False
+        self._ring: Optional[SampleRing] = None
+        self._ring_broken = False
 
     # ------------------------------------------------------------------ #
     # sizing / context management
@@ -252,11 +303,14 @@ class DataLoader:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; serial loaders: no-op)."""
+        """Shut down the worker pool and ring (idempotent; serial: no-op)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        if self._ring is not None:
+            self._ring.close()
+            self._ring = None
 
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
@@ -319,12 +373,51 @@ class DataLoader:
                 ensure(int(i))
             yield batch_idx
 
+    def _task_payload(self) -> Tuple[object, Optional[str]]:
+        """``(task, graph_path)`` the workers will be initialized with.
+
+        A path-backed graph (saved or mmap-opened) is stripped from the
+        payload — workers re-open the storage directory themselves, so
+        the graph arrays are never duplicated into the worker payloads.
+        In-memory-only graphs keep the original pickled-task fallback.
+        """
+        task = self.dataset.task
+        path = getattr(getattr(task, "graph", None), "storage_path", None)
+        if path is None:
+            obs.count("data.loader.payload_pickled")
+            return task, None
+        light = copy.copy(task)
+        light.graph = None
+        obs.count("data.loader.payload_path")
+        return light, str(path)
+
+    def _ensure_ring(self) -> Optional[SampleRing]:
+        if self._ring is None and self.use_ring and not self._ring_broken:
+            slots = self.num_workers * self.prefetch_factor
+            try:
+                self._ring = SampleRing.create(slots, self.ring_slot_bytes)
+            except Exception as exc:  # pragma: no cover - platform dependent
+                self._ring_broken = True
+                logger.warning(
+                    "shared-memory ring unavailable (%s); worker batches "
+                    "will be pickled instead",
+                    exc,
+                )
+        return self._ring
+
     def _ensure_pool(self):
         if self._pool is None:
             import multiprocessing as mp
 
             ctx = mp.get_context()
-            payload = (self.dataset.task, self.dataset.rng_seed)
+            ring = self._ensure_ring()
+            task, graph_path = self._task_payload()
+            payload = (
+                task,
+                graph_path,
+                self.dataset.rng_seed,
+                None if ring is None else ring.meta,
+            )
             self._pool = ctx.Pool(
                 self.num_workers, initializer=_worker_init, initargs=(payload,)
             )
@@ -354,10 +447,25 @@ class DataLoader:
         pending: deque = deque()
         max_inflight = self.num_workers * self.prefetch_factor
         fresh = set(missing.tolist())
+        ring = self._ring
 
         def pump() -> None:
             while chunks and len(pending) < max_inflight:
-                pending.append(pool.apply_async(_worker_extract, (chunks.popleft(),)))
+                slot = -1 if ring is None else ring.acquire()
+                pending.append(
+                    pool.apply_async(_worker_extract, (chunks.popleft(), slot))
+                )
+
+        def decode(payload):
+            """Worker result -> (samples, slot to release or None)."""
+            kind, slot, body = payload
+            slot = slot if slot >= 0 else None
+            if kind == "shm":
+                obs.count("store.ring.batches")
+                return ring.read(slot, body), slot
+            if ring is not None:
+                obs.count("store.ring.fallbacks")
+            return body, slot
 
         pump()
         for batch_idx in batches:
@@ -376,7 +484,7 @@ class DataLoader:
                         # Bounded wait: a hung (not dead) worker must not
                         # block the epoch forever — time out and finish
                         # through the serial path instead.
-                        samples = result.get(self.worker_timeout)
+                        samples, slot = decode(result.get(self.worker_timeout))
                 except MpTimeoutError:
                     obs.count("data.loader.worker_timeouts")
                     logger.warning(
@@ -393,7 +501,11 @@ class DataLoader:
                     self._mark_broken()
                     break
                 for sample in samples:
+                    # adopt() copies into the dataset's store, so ring
+                    # views are safe to recycle right after this loop.
                     self.dataset.adopt(sample)
+                if slot is not None:
+                    ring.release(slot)
                 pump()
             if self._pool_broken:
                 for i in needed:

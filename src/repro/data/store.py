@@ -57,6 +57,8 @@ class StoreInfo(NamedTuple):
     edges: int  # edge columns in use
     nbytes: int  # bytes allocated across every backing buffer
     plans: int = 0  # batch-composition plan caches retained (LRU-bounded)
+    plan_hits: int = 0  # plan-cache lookups answered (reset by clear())
+    plan_misses: int = 0  # plan-cache lookups missed (reset by clear())
 
 
 class SubgraphStore:
@@ -88,6 +90,14 @@ class SubgraphStore:
         self.feature_dim = int(feature_dim)
         self.edge_attr_dim = int(edge_attr_dim)
         self.node_feature_dim = int(node_feature_dim)
+        # Batch-composition -> PlanCache memo. The store is append-only
+        # (put() never mutates an existing entry), so a batch collated
+        # from the same link indices is array-identical across epochs and
+        # its segment plans can be reused verbatim. LRU-bounded so a
+        # pathological sampler cannot hoard plans without bound.
+        self._plan_cache: "OrderedDict[bytes, PlanCache]" = OrderedDict()
+        self._plan_hits = 0
+        self._plan_misses = 0
         self._init_buffers()
 
     def _init_buffers(self) -> None:
@@ -114,12 +124,6 @@ class SubgraphStore:
         self._node_tail = 0
         self._edge_tail = 0
         self._entries = 0
-        # Batch-composition -> PlanCache memo. The store is append-only
-        # (put() never mutates an existing entry), so a batch collated
-        # from the same link indices is array-identical across epochs and
-        # its segment plans can be reused verbatim. LRU-bounded so a
-        # pathological sampler cannot hoard plans without bound.
-        self._plan_cache: "OrderedDict[bytes, PlanCache]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # batch plan cache
@@ -132,6 +136,9 @@ class SubgraphStore:
         plans = self._plan_cache.get(key)
         if plans is not None:
             self._plan_cache.move_to_end(key)
+            self._plan_hits += 1
+        else:
+            self._plan_misses += 1
         return plans
 
     def plan_store(self, key: bytes, plans: "PlanCache") -> None:
@@ -244,8 +251,21 @@ class SubgraphStore:
         self.capacity = int(capacity)
 
     def clear(self) -> None:
-        """Drop every stored subgraph and release the data buffers."""
+        """Drop every stored subgraph, the plan cache, and the counters.
+
+        The plan LRU is keyed on batch *composition* (link indices), not
+        on subgraph content — after a clear the same indices name
+        different subgraphs, so a surviving plan would silently collate
+        the new layout with the old plan's segment structure. The serve
+        path relies on this: :meth:`LinkScorer.invalidate` clears the
+        store when the graph changes, and stale plans must go with it.
+        ``StoreInfo``'s plan hit/miss counters reset too, so post-clear
+        hit rates describe the current graph only.
+        """
         self._init_buffers()
+        self._plan_cache.clear()
+        self._plan_hits = 0
+        self._plan_misses = 0
 
     # ------------------------------------------------------------------ #
     # reads
@@ -291,4 +311,6 @@ class SubgraphStore:
             edges=self._edge_tail,
             nbytes=int(nbytes),
             plans=len(self._plan_cache),
+            plan_hits=self._plan_hits,
+            plan_misses=self._plan_misses,
         )

@@ -12,6 +12,7 @@ from repro.graph.generators import (
     barabasi_albert_edges,
     dedupe_edges,
     erdos_renyi_edges,
+    preferential_attachment_edges,
     stochastic_block_edges,
 )
 from repro.graph.stats import (
@@ -49,6 +50,7 @@ __all__ = [
     "use_bulk",
     "erdos_renyi_edges",
     "barabasi_albert_edges",
+    "preferential_attachment_edges",
     "stochastic_block_edges",
     "dedupe_edges",
     "connected_components",

@@ -269,6 +269,10 @@ def _extract_chunk(
             )
 
     obs.count("extraction.batched.links", float(num_links))
+    if getattr(graph, "is_mmap", False):
+        # Visibility into the zero-copy path: these sweeps read the
+        # graph straight off shared mapped pages (repro.store).
+        obs.count("store.mmap.extracted_links", float(num_links))
     return BulkSubgraphs(
         num_links=num_links,
         node_map=node_map,

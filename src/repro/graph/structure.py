@@ -1,7 +1,7 @@
 """Core graph container backed by edge lists + CSR adjacency.
 
-:class:`Graph` is the single in-memory graph representation used across
-the library. Edges are stored as a directed ``(2, E)`` edge list — an
+:class:`Graph` is the single graph representation used across the
+library. Edges are stored as a directed ``(2, E)`` edge list — an
 undirected graph stores both arc directions (the convention of PyTorch
 Geometric, which the paper's code builds on). A CSR view (``indptr``,
 ``indices``, ``edge_ids``) is built lazily for O(deg) neighborhood
@@ -11,6 +11,14 @@ Attributes carried per node: an integer ``node_type`` and an optional
 dense feature matrix. Per edge: an integer ``edge_type`` and an optional
 dense attribute matrix (the paper's edge attributes, e.g. the 2-d
 positive/negative one-hot of PrimeKG).
+
+Since the :mod:`repro.store` refactor the arrays themselves live in a
+:class:`~repro.store.GraphStorage` — ``Graph`` validates on
+construction and exposes the arrays as read-only-by-convention
+properties. The storage can be written to disk (:meth:`Graph.save`) and
+mapped back (:meth:`Graph.open`), after which every array — the CSR
+included — is a read-only numpy memmap shared across processes, and
+pickling the graph ships only the directory path.
 """
 
 from __future__ import annotations
@@ -18,6 +26,8 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.store.graph_storage import GraphStorage
 
 __all__ = ["Graph"]
 
@@ -60,33 +70,27 @@ class Graph:
             raise ValueError("edge_index must have shape (2, E)")
         if edge_index.size and (edge_index.min() < 0 or edge_index.max() >= num_nodes):
             raise ValueError("edge_index references nodes outside [0, num_nodes)")
-        self.num_nodes = int(num_nodes)
-        self.edge_index = edge_index
-
-        self.node_type = self._check_node_arr(node_type, "node_type")
-        self.node_features = self._check_2d(node_features, self.num_nodes, "node_features")
-        self.edge_type = self._check_edge_arr(edge_type, "edge_type")
-        self.edge_attr = self._check_2d(edge_attr, self.num_edges, "edge_attr")
-
-        self._csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        n = int(num_nodes)
+        e = int(edge_index.shape[1])
+        self._storage = GraphStorage(
+            n,
+            edge_index,
+            node_type=self._check_count_arr(node_type, n, "node_type"),
+            edge_type=self._check_count_arr(edge_type, e, "edge_type"),
+            node_features=self._check_2d(node_features, n, "node_features"),
+            edge_attr=self._check_2d(edge_attr, e, "edge_attr"),
+        )
 
     # ------------------------------------------------------------------ #
     # validation helpers
     # ------------------------------------------------------------------ #
-    def _check_node_arr(self, arr: Optional[np.ndarray], name: str) -> np.ndarray:
+    @staticmethod
+    def _check_count_arr(arr: Optional[np.ndarray], rows: int, name: str) -> np.ndarray:
         if arr is None:
-            return np.zeros(self.num_nodes, dtype=np.int64)
+            return np.zeros(rows, dtype=np.int64)
         arr = np.asarray(arr, dtype=np.int64)
-        if arr.shape != (self.num_nodes,):
-            raise ValueError(f"{name} must have shape ({self.num_nodes},)")
-        return arr
-
-    def _check_edge_arr(self, arr: Optional[np.ndarray], name: str) -> np.ndarray:
-        if arr is None:
-            return np.zeros(self.num_edges, dtype=np.int64)
-        arr = np.asarray(arr, dtype=np.int64)
-        if arr.shape != (self.num_edges,):
-            raise ValueError(f"{name} must have shape ({self.num_edges},)")
+        if arr.shape != (rows,):
+            raise ValueError(f"{name} must have shape ({rows},)")
         return arr
 
     @staticmethod
@@ -136,13 +140,85 @@ class Graph:
             edge_attr=ea,
         )
 
+    @classmethod
+    def from_storage(cls, storage: GraphStorage) -> "Graph":
+        """Wrap an existing :class:`~repro.store.GraphStorage` (no revalidation).
+
+        The storage is trusted — it either came out of a validated graph
+        or out of a manifest that graph wrote (:meth:`open`).
+        """
+        g = cls.__new__(cls)
+        g._storage = storage
+        return g
+
+    @classmethod
+    def open(cls, directory, *, mmap: bool = True) -> "Graph":
+        """Open a graph saved by :meth:`save`.
+
+        With ``mmap=True`` every array is a read-only memmap: opening is
+        O(1) in graph size, worker processes share the pages, and
+        pickling the graph ships only the path. All queries and
+        transforms answer bit-identically to the in-memory original.
+        """
+        return cls.from_storage(GraphStorage.open(directory, mmap=mmap))
+
+    # ------------------------------------------------------------------ #
+    # storage delegation
+    # ------------------------------------------------------------------ #
+    @property
+    def storage(self) -> GraphStorage:
+        """The array backend (in-memory or mmap)."""
+        return self._storage
+
+    @property
+    def storage_path(self):
+        """Directory this graph's arrays live under (``None`` = memory only)."""
+        return self._storage.path
+
+    @property
+    def is_mmap(self) -> bool:
+        """Whether the arrays are read-only on-disk memmaps."""
+        return self._storage.mmap
+
+    @property
+    def num_nodes(self) -> int:
+        return self._storage.num_nodes
+
+    @property
+    def edge_index(self) -> np.ndarray:
+        return self._storage.edge_index
+
+    @property
+    def node_type(self) -> np.ndarray:
+        return self._storage.node_type
+
+    @property
+    def node_features(self) -> Optional[np.ndarray]:
+        return self._storage.node_features
+
+    @property
+    def edge_type(self) -> np.ndarray:
+        return self._storage.edge_type
+
+    @property
+    def edge_attr(self) -> Optional[np.ndarray]:
+        return self._storage.edge_attr
+
+    def save(self, directory):
+        """Write the graph's arrays (CSR included) under ``directory``.
+
+        Marks the graph as path-backed: the parallel loader then sends
+        workers the path instead of a pickled copy of the arrays.
+        """
+        return self._storage.save(directory)
+
     # ------------------------------------------------------------------ #
     # basic queries
     # ------------------------------------------------------------------ #
     @property
     def num_edges(self) -> int:
         """Number of stored (directed) arcs."""
-        return int(self.edge_index.shape[1])
+        return self._storage.num_edges
 
     @property
     def num_node_types(self) -> int:
@@ -157,17 +233,10 @@ class Graph:
 
         ``indices[indptr[v]:indptr[v+1]]`` are out-neighbors of ``v`` and
         ``edge_ids`` maps each CSR slot back to its arc in ``edge_index``.
-        Built once and cached; edge mutation invalidates via :meth:`copy`.
+        Built once and cached in the storage (saved graphs load it from
+        disk); edge mutation invalidates via :meth:`copy`.
         """
-        if self._csr is None:
-            src, dst = self.edge_index
-            order = np.argsort(src, kind="stable")
-            sorted_src = src[order]
-            indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
-            np.add.at(indptr, sorted_src + 1, 1)
-            np.cumsum(indptr, out=indptr)
-            self._csr = (indptr, dst[order], order)
-        return self._csr
+        return self._storage.csr()
 
     def neighbors(self, v: int) -> np.ndarray:
         """Out-neighbors of node ``v`` (may contain duplicates in multigraphs)."""
@@ -192,7 +261,7 @@ class Graph:
     # transforms
     # ------------------------------------------------------------------ #
     def copy(self) -> "Graph":
-        """Deep copy (fresh CSR cache)."""
+        """Deep copy into fresh in-memory storage (fresh CSR cache)."""
         return Graph(
             self.num_nodes,
             self.edge_index.copy(),

@@ -28,7 +28,17 @@ few coalesced requests through :mod:`repro.serve`) — request/pair
 counts, p50/p99 scoring latency, micro-batch occupancy, queue peak
 depth and score-cache hit rate; ``checkpoint`` reports the crash-safety
 leg when ``--checkpoint-dir`` is set — bundle writes, bytes, write-time
-stats and (with ``--resume``) the epoch the run resumed from.
+stats and (with ``--resume``) the epoch the run resumed from; ``store``
+reports the zero-copy storage layer (:mod:`repro.store`) — mmap vs full
+graph opens, links extracted off mapped pages, shared-memory ring
+batches/fallbacks/occupancy and whether workers got the graph by path
+or by pickle.
+
+With ``--graph-dir DIR`` the workload runs against a saved on-disk task:
+the first run generates the synthetic dataset and saves it under DIR
+(:func:`repro.store.save_task`), reruns mmap it back instead of
+regenerating — which exercises the whole mmap read path end to end and
+makes repeated profiles of large graphs start in milliseconds.
 """
 
 from __future__ import annotations
@@ -57,16 +67,22 @@ def run_profile(
     num_workers: int = 0,
     checkpoint_dir: Optional[str] = None,
     resume: bool = True,
+    graph_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the instrumented workload; return the JSON-ready report dict.
 
     With ``checkpoint_dir`` the training leg runs crash-safe (epoch
     bundles written under that directory, resumed on rerun when
     ``resume``) and the report gains a ``checkpoint`` section.
+
+    With ``graph_dir`` the dataset leg reads a saved task from that
+    directory (mmap-backed) when one exists, and otherwise generates the
+    synthetic dataset once and saves it there for the next run.
     """
     # Imports are deferred so ``import repro.obs`` stays lightweight.
     from repro import obs
     from repro.datasets import load_dataset
+    from repro.store import has_task, load_task, save_task
     from repro.models import AMDGCNN
     from repro.seal import (
         CheckpointConfig,
@@ -88,7 +104,14 @@ def run_profile(
     t_start = time.perf_counter()
     with obs.capture() as registry:
         with obs.trace("dataset"):
-            task = load_dataset(dataset, scale=scale, rng=seed, num_targets=num_targets)
+            if graph_dir is not None and has_task(graph_dir):
+                task = load_task(graph_dir, mmap=True)
+                graph_source = "mmap"
+            else:
+                task = load_dataset(dataset, scale=scale, rng=seed, num_targets=num_targets)
+                graph_source = "generated"
+                if graph_dir is not None:
+                    save_task(graph_dir, task)
             ds = SEALDataset(task, rng=seed)
             tr, te = train_test_split_indices(
                 task.num_links, 0.25, labels=task.labels, rng=derive(seed, "split")
@@ -219,6 +242,25 @@ def run_profile(
             "hit_rate": serve_hits / serve_lookups if serve_lookups else 0.0,
         },
     }
+    ring_occ = registry.histograms.get("store.ring.occupancy")
+    store_report = {
+        "graph_source": graph_source,
+        "graph_dir": graph_dir,
+        "mmap_opens": counters.get("store.mmap.opens", 0.0),
+        "full_opens": counters.get("store.full.opens", 0.0),
+        "graph_saves": counters.get("store.graph.saves", 0.0),
+        "mmap_extracted_links": counters.get("store.mmap.extracted_links", 0.0),
+        "ring": {
+            "batches": counters.get("store.ring.batches", 0.0),
+            "fallbacks": counters.get("store.ring.fallbacks", 0.0),
+            "exhausted": counters.get("store.ring.exhausted", 0.0),
+            "occupancy_mean": ring_occ.mean if ring_occ else 0.0,
+        },
+        "worker_payload": {
+            "by_path": counters.get("data.loader.payload_path", 0.0),
+            "pickled": counters.get("data.loader.payload_pickled", 0.0),
+        },
+    }
     write_hist = registry.histograms.get("checkpoint.write_seconds")
     checkpoint_report = {
         "enabled": ckpt is not None,
@@ -245,6 +287,7 @@ def run_profile(
             "num_workers": num_workers,
             "num_links": int(task.num_links),
             "num_nodes": int(task.graph.num_nodes),
+            "graph_dir": graph_dir,
         },
         "total_s": time.perf_counter() - t_start,
         "phases": {
@@ -265,6 +308,7 @@ def run_profile(
         "kernels": kernels_report,
         "extraction": extraction_report,
         "serve": serve_report,
+        "store": store_report,
         "checkpoint": checkpoint_report,
         "counters": counters,
         "snapshot": registry.snapshot(),
@@ -305,6 +349,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="resume training from the latest checkpoint in --checkpoint-dir",
     )
+    parser.add_argument(
+        "--graph-dir",
+        metavar="DIR",
+        default=None,
+        help="run against the saved task in DIR (mmap-backed); generates and "
+        "saves it there on first use instead of regenerating every run",
+    )
     parser.add_argument("--json", metavar="PATH", help="also write the report to PATH")
     parser.add_argument(
         "--csv", metavar="PATH", help="also write the metrics snapshot as CSV to PATH"
@@ -321,6 +372,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         num_workers=args.workers,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        graph_dir=args.graph_dir,
     )
     if args.smoke:
         kwargs.update(scale=0.12, num_targets=40, epochs=1, batch_size=8)

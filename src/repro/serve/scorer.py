@@ -286,6 +286,33 @@ class LinkScorer:
         """Construct a scorer straight from a saved bundle file."""
         return cls(ModelBundle.load(path), graph, **kwargs)
 
+    @classmethod
+    def from_saved(cls, bundle_path, graph_dir, *, mmap: bool = True, **kwargs) -> "LinkScorer":
+        """Scorer from a bundle file plus a saved graph directory.
+
+        The graph comes back mmap-backed by default (see
+        :meth:`~repro.graph.Graph.open`): the serving process maps the
+        arrays read-only instead of loading a private copy, and scores
+        are bit-identical to serving the in-memory graph.
+        """
+        return cls(ModelBundle.load(bundle_path), Graph.open(graph_dir, mmap=mmap), **kwargs)
+
+    def warm(self, pairs) -> int:
+        """Pre-extract the enclosing subgraphs of ``pairs`` into the store.
+
+        The deployment-side counterpart of ``DataLoader.warm``: run at
+        start-up (e.g. over the expected hot pairs) so first requests
+        skip extraction — the usual pattern for an mmap-served graph,
+        where the process boots instantly and warming is the only cold
+        cost left. Returns how many distinct pairs are now extracted.
+        """
+        pairs = _as_pairs(pairs)
+        keys = list(dict.fromkeys((int(u), int(v)) for u, v in pairs))
+        slots = np.asarray([self._slot_of(k) for k in keys], dtype=np.int64)
+        self._ensure_extracted(slots)
+        obs.count("serve.warmed_pairs", float(len(keys)))
+        return len(keys)
+
     # ------------------------------------------------------------------ #
     # graph versioning / cache invalidation
     # ------------------------------------------------------------------ #

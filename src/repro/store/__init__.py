@@ -1,0 +1,29 @@
+"""repro.store — zero-copy storage: mmap graph arrays + shm batch rings.
+
+The storage layer under the data pipeline:
+
+* :class:`GraphStorage` — the frozen array set behind every
+  :class:`~repro.graph.Graph`; lives in memory or as read-only numpy
+  memmaps on disk (``save``/``open``), shared across worker processes
+  without pickling the graph payload.
+* :class:`SampleRing` — a slotted ``multiprocessing.shared_memory``
+  ring the parallel :class:`~repro.data.DataLoader` uses to move packed
+  subgraph batches from workers to the parent without serialization.
+* :func:`save_task` / :func:`load_task` — persist a whole
+  :class:`~repro.seal.LinkTask` (graph + pairs + labels + recipe) as a
+  directory workloads can be re-run against (``profile --graph-dir``).
+"""
+
+from repro.store.graph_storage import STORAGE_VERSION, GraphStorage
+from repro.store.ring import SampleRing
+from repro.store.task_io import TASK_FILE, has_task, load_task, save_task
+
+__all__ = [
+    "STORAGE_VERSION",
+    "GraphStorage",
+    "SampleRing",
+    "TASK_FILE",
+    "has_task",
+    "load_task",
+    "save_task",
+]

@@ -1,0 +1,234 @@
+"""Shared-memory ring buffer for worker→parent packed-batch transport.
+
+The parallel :class:`~repro.data.DataLoader` used to receive every
+extracted chunk as a pickled list of
+:class:`~repro.data.store.PackedSubgraph` objects — serialized in the
+worker, shipped through the pool's result pipe, deserialized in the
+parent. :class:`SampleRing` replaces that copy chain with one shared
+``multiprocessing.shared_memory`` segment divided into fixed-size slots:
+
+1. The parent *acquires* a free slot and names it in the dispatch.
+2. The worker packs the chunk's samples columnarly into the slot —
+   the same node-axis/edge-axis layout ``SubgraphStore`` uses — and
+   returns only a tiny ``("shm", slot, header)`` descriptor.
+3. The parent rebuilds ``PackedSubgraph`` *views* into the slot (no
+   copy), adopts them into the store, then *releases* the slot.
+
+Slot ownership needs no locks: a slot moves parent→worker inside the
+dispatch message and worker→parent inside the result message, and the
+pool's pipes provide the happens-before edge for the shared bytes.
+
+A chunk that does not fit its slot falls back to the pickle path
+(``("pkl", samples)``) — correctness never depends on slot capacity.
+The views returned by :meth:`read` alias the slot and are only valid
+until it is released; callers must copy (``SubgraphStore.put`` does)
+before releasing.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+
+__all__ = ["SampleRing"]
+
+_I64 = np.dtype(np.int64)
+_F64 = np.dtype(np.float64)
+
+#: header = (num_samples, total_nodes, total_edges,
+#:           feature_dim, node_feature_dim, edge_attr_dim)
+Header = Tuple[int, int, int, int, int, int]
+
+
+class SampleRing:
+    """Fixed-capacity slotted shared-memory transport.
+
+    Create one per loader in the parent (:meth:`create`), attach by name
+    in each worker (:meth:`attach`). The parent side alone tracks the
+    free-slot list; workers only ever touch the slot they were handed.
+    """
+
+    def __init__(self, shm, slots: int, slot_bytes: int, *, owner: bool):
+        self._shm = shm
+        self.slots = int(slots)
+        self.slot_bytes = int(slot_bytes)
+        self._owner = bool(owner)
+        self._free: Optional[List[int]] = list(range(slots)) if owner else None
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def meta(self) -> Tuple[str, int, int]:
+        """``(name, slots, slot_bytes)`` — everything a worker needs to attach."""
+        return (self.name, self.slots, self.slot_bytes)
+
+    @classmethod
+    def create(cls, slots: int, slot_bytes: int) -> "SampleRing":
+        """Allocate the segment (parent side; owns the lifetime)."""
+        if slots < 1 or slot_bytes < 64:
+            raise ValueError("need slots >= 1 and slot_bytes >= 64")
+        shm = shared_memory.SharedMemory(create=True, size=slots * slot_bytes)
+        return cls(shm, slots, slot_bytes, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, slots: int, slot_bytes: int) -> "SampleRing":
+        """Map an existing segment (worker side).
+
+        Pool workers share the parent's resource-tracker process, whose
+        name cache is a set — the attach-time re-registration (always
+        performed before Python 3.13) is therefore a no-op, and the
+        parent's ``unlink`` deregisters cleanly. No tracker workaround
+        is needed for same-process-tree attachment.
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, slots, slot_bytes, owner=False)
+
+    def close(self) -> None:
+        """Unmap; the owner also unlinks the segment (idempotent)."""
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - platform dependent
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        self._shm = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # slot bookkeeping (parent side)
+    # ------------------------------------------------------------------ #
+    def acquire(self) -> int:
+        """Claim a free slot; ``-1`` when exhausted (worker then pickles)."""
+        if not self._free:
+            obs.count("store.ring.exhausted")
+            return -1
+        slot = self._free.pop()
+        obs.observe("store.ring.occupancy", 1.0 - len(self._free) / self.slots)
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list (after its views were copied)."""
+        self._free.append(slot)
+
+    # ------------------------------------------------------------------ #
+    # columnar slot layout
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def required_bytes(header: Header) -> int:
+        """Bytes a batch with this header occupies in a slot."""
+        s, tn, te, f, nf, ea = header
+        cells = 3 * s + tn + 3 * te + tn * f + tn * nf + te * ea
+        return 8 * cells
+
+    def _views(self, slot: int, header: Header) -> Dict[str, np.ndarray]:
+        """Typed array views over one slot, in the fixed block order.
+
+        Used identically by the writing worker and the reading parent,
+        so the layout cannot skew between the two sides. All blocks use
+        8-byte dtypes; offsets stay aligned by construction.
+        """
+        s, tn, te, f, nf, ea = header
+        buf = self._shm.buf
+        off = slot * self.slot_bytes
+
+        def take(count: int, dtype, shape) -> np.ndarray:
+            nonlocal off
+            arr = np.frombuffer(buf, dtype=dtype, count=count, offset=off)
+            off += count * 8
+            return arr.reshape(shape)
+
+        return {
+            "indices": take(s, _I64, (s,)),
+            "node_counts": take(s, _I64, (s,)),
+            "edge_counts": take(s, _I64, (s,)),
+            "node_type": take(tn, _I64, (tn,)),
+            "edge_index": take(2 * te, _I64, (2, te)),
+            "edge_type": take(te, _I64, (te,)),
+            "features": take(tn * f, _F64, (tn, f)),
+            "node_features": take(tn * nf, _F64, (tn, nf)),
+            "edge_attr": take(te * ea, _F64, (te, ea)),
+        }
+
+    def write(self, slot: int, samples) -> Optional[Header]:
+        """Pack ``samples`` into ``slot`` (worker side).
+
+        Returns the header the parent needs to read the slot back, or
+        ``None`` when the batch does not fit — the caller then falls
+        back to returning the samples by value.
+        """
+        s = len(samples)
+        tn = sum(smp.num_nodes for smp in samples)
+        te = sum(smp.num_edges for smp in samples)
+        first = samples[0]
+        f = int(first.features.shape[1])
+        nf = 0 if first.node_features is None else int(first.node_features.shape[1])
+        ea = 0 if first.edge_attr is None else int(first.edge_attr.shape[1])
+        header: Header = (s, tn, te, f, nf, ea)
+        if self.required_bytes(header) > self.slot_bytes:
+            return None
+        views = self._views(slot, header)
+        no = eo = 0
+        for j, smp in enumerate(samples):
+            n, e = smp.num_nodes, smp.num_edges
+            views["indices"][j] = smp.index
+            views["node_counts"][j] = n
+            views["edge_counts"][j] = e
+            views["node_type"][no : no + n] = smp.node_type
+            views["edge_index"][:, eo : eo + e] = smp.edge_index
+            views["edge_type"][eo : eo + e] = smp.edge_type
+            views["features"][no : no + n] = smp.features
+            if nf:
+                views["node_features"][no : no + n] = smp.node_features
+            if ea:
+                views["edge_attr"][eo : eo + e] = smp.edge_attr
+            no += n
+            eo += e
+        return header
+
+    def read(self, slot: int, header: Header):
+        """Rebuild the packed samples as zero-copy views (parent side).
+
+        The returned ``PackedSubgraph`` arrays alias the slot; copy them
+        (``SubgraphStore.put`` does) before :meth:`release`-ing it.
+        """
+        from repro.data.store import PackedSubgraph
+
+        s, _, _, _, nf, ea = header
+        views = self._views(slot, header)
+        samples = []
+        no = eo = 0
+        for j in range(s):
+            n = int(views["node_counts"][j])
+            e = int(views["edge_counts"][j])
+            samples.append(
+                PackedSubgraph(
+                    index=int(views["indices"][j]),
+                    num_nodes=n,
+                    num_edges=e,
+                    edge_index=views["edge_index"][:, eo : eo + e],
+                    features=views["features"][no : no + n],
+                    node_type=views["node_type"][no : no + n],
+                    edge_type=views["edge_type"][eo : eo + e],
+                    edge_attr=views["edge_attr"][eo : eo + e] if ea else None,
+                    node_features=views["node_features"][no : no + n] if nf else None,
+                )
+            )
+            no += n
+            eo += e
+        return samples

@@ -1,0 +1,117 @@
+"""Persist a whole :class:`~repro.seal.LinkTask` next to its saved graph.
+
+:func:`save_task` writes the task's graph through
+:meth:`GraphStorage.save` and everything else (pairs, labels, class
+names, extraction settings, the feature recipe) as one atomic
+``task.npz`` via the same meta-npz idiom checkpoints and model bundles
+use. :func:`load_task` rebuilds the task with the graph mmap-opened, so
+``python -m repro profile --graph-dir DIR`` (and any other caller) can
+run a large workload against on-disk arrays instead of regenerating —
+and re-pickling — synthetics every run.
+
+All ``repro`` imports are deferred inside the functions: this module is
+re-exported from :mod:`repro.store`, which :mod:`repro.graph.structure`
+must be importable *before* (the storage layer sits below the graph).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["TASK_FILE", "has_task", "load_task", "save_task"]
+
+#: Filename of the task manifest inside a saved task directory.
+TASK_FILE = "task.npz"
+
+_TASK_VERSION = 1
+
+
+def has_task(directory) -> bool:
+    """Whether ``directory`` holds a complete saved task (graph + manifest)."""
+    directory = Path(directory)
+    return (directory / TASK_FILE).exists() and (directory / "meta.json").exists()
+
+
+def save_task(directory, task) -> Path:
+    """Write ``task`` (graph arrays + task manifest) under ``directory``."""
+    from repro.seal.checkpoint import write_meta_npz
+
+    directory = Path(directory)
+    task.graph.save(directory)
+    arrays = {
+        "pairs": np.asarray(task.pairs, dtype=np.int64),
+        "labels": np.asarray(task.labels, dtype=np.int64),
+    }
+    fc = task.feature_config
+    if fc.embeddings is not None:
+        arrays["feature:embeddings"] = np.asarray(fc.embeddings)
+    meta = {
+        "kind": "link-task",
+        "version": _TASK_VERSION,
+        "name": task.name,
+        "num_classes": int(task.num_classes),
+        "class_names": list(task.class_names),
+        "subgraph_mode": task.subgraph_mode,
+        "num_hops": int(task.num_hops),
+        "max_subgraph_nodes": (
+            None if task.max_subgraph_nodes is None else int(task.max_subgraph_nodes)
+        ),
+        "edge_attr_dim": int(task.edge_attr_dim),
+        "feature_config": {
+            "num_node_types": fc.num_node_types,
+            "use_drnl": fc.use_drnl,
+            "max_drnl_label": fc.max_drnl_label,
+            "explicit_dim": fc.explicit_dim,
+        },
+    }
+    write_meta_npz(directory / TASK_FILE, arrays, meta)
+    return directory
+
+
+def load_task(directory, *, mmap: bool = True):
+    """Rebuild the :class:`~repro.seal.LinkTask` saved under ``directory``.
+
+    The graph comes back through :meth:`Graph.open` — mmap-backed by
+    default, so the task is ready for zero-copy worker payloads.
+    """
+    from repro.graph.structure import Graph
+    from repro.seal.checkpoint import read_meta_npz
+    from repro.seal.dataset import LinkTask
+    from repro.seal.features import FeatureConfig
+
+    directory = Path(directory)
+    arrays, meta = read_meta_npz(directory / TASK_FILE)
+    if meta.get("kind") != "link-task":
+        raise ValueError(f"{directory / TASK_FILE} is not a saved link task")
+    if meta.get("version") != _TASK_VERSION:
+        raise ValueError(
+            f"saved task version {meta.get('version')} unsupported "
+            f"(this build reads version {_TASK_VERSION})"
+        )
+    fc_meta = meta["feature_config"]
+    feature_config = FeatureConfig(
+        num_node_types=int(fc_meta["num_node_types"]),
+        use_drnl=bool(fc_meta["use_drnl"]),
+        max_drnl_label=int(fc_meta["max_drnl_label"]),
+        explicit_dim=int(fc_meta["explicit_dim"]),
+        embeddings=arrays.get("feature:embeddings"),
+    )
+    return LinkTask(
+        graph=Graph.open(directory, mmap=mmap),
+        pairs=arrays["pairs"],
+        labels=arrays["labels"],
+        num_classes=int(meta["num_classes"]),
+        feature_config=feature_config,
+        class_names=list(meta["class_names"]),
+        name=meta["name"],
+        subgraph_mode=meta["subgraph_mode"],
+        num_hops=int(meta["num_hops"]),
+        max_subgraph_nodes=(
+            None
+            if meta["max_subgraph_nodes"] is None
+            else int(meta["max_subgraph_nodes"])
+        ),
+        edge_attr_dim=int(meta["edge_attr_dim"]),
+    )

@@ -20,7 +20,7 @@ def task():
     return load_primekg_like(scale=0.12, num_targets=40, rng=0)
 
 
-def _hang_forever(chunk):
+def _hang_forever(chunk, slot=-1):
     """A worker that never produces anything (module-level: picklable)."""
     time.sleep(3600)
 
@@ -141,7 +141,7 @@ class TestFallback:
             DataLoader(fresh_dataset(task), batch_size=8, worker_timeout=-1.0)
 
     def test_worker_crash_falls_back_to_serial(self, task, monkeypatch, multicore):
-        def boom(chunk):
+        def boom(chunk, slot=-1):
             raise RuntimeError("worker exploded")
 
         # Forked workers inherit the patched module, so every chunk fails.

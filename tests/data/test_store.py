@@ -109,3 +109,20 @@ class TestMemoryAccounting:
         info = store.cache_info()
         assert (info.entries, info.nodes, info.edges) == (0, 0, 0)
         assert 0 not in store
+
+    def test_clear_drops_plan_cache_and_counters(self):
+        """clear() must not leave stale plans behind: kernel plans are keyed
+        on batch composition, and the serve path's invalidate() relies on
+        clear() wiping them along with the packed samples."""
+        store = SubgraphStore(4, 4)
+        assert store.plan_lookup(b"batch-key") is None  # one miss
+        plans = object()
+        store.plan_store(b"batch-key", plans)
+        assert store.plan_lookup(b"batch-key") is plans  # one hit
+        info = store.cache_info()
+        assert (info.plans, info.plan_hits, info.plan_misses) == (1, 1, 1)
+        store.clear()
+        info = store.cache_info()
+        assert (info.plans, info.plan_hits, info.plan_misses) == (0, 0, 0)
+        # A post-clear lookup must miss — never serve the pre-clear plan.
+        assert store.plan_lookup(b"batch-key") is None

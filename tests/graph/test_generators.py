@@ -9,6 +9,7 @@ from repro.graph.generators import (
     barabasi_albert_edges,
     dedupe_edges,
     erdos_renyi_edges,
+    preferential_attachment_edges,
     stochastic_block_edges,
 )
 
@@ -73,6 +74,39 @@ class TestBarabasiAlbert:
             barabasi_albert_edges(5, 0)
         with pytest.raises(ValueError):
             barabasi_albert_edges(5, 5)
+
+
+class TestPreferentialAttachment:
+    """The vectorized Batagelj–Brandes generator for the scale benchmarks."""
+
+    def test_edge_count_near_nm(self):
+        n, m = 5_000, 3
+        out = preferential_attachment_edges(n, m, rng=0)
+        # n*m draws minus the self-loops/duplicates dedupe drops — a
+        # vanishing fraction for n >> m.
+        assert 0.98 * n * m < len(out) <= n * m
+
+    def test_canonical_form(self):
+        out = preferential_attachment_edges(400, 2, rng=0)
+        assert (out[:, 0] < out[:, 1]).all()
+        assert len(np.unique(out, axis=0)) == len(out)
+        assert out.min() >= 0 and out.max() < 400
+
+    def test_heavy_tail(self):
+        out = preferential_attachment_edges(3_000, 2, rng=0)
+        deg = np.bincount(out.ravel())
+        assert deg.max() > 4 * np.median(deg)
+
+    def test_deterministic(self):
+        a = preferential_attachment_edges(500, 3, rng=9)
+        b = preferential_attachment_edges(500, 3, rng=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_edges(5, 0)
+        with pytest.raises(ValueError):
+            preferential_attachment_edges(5, 5)
 
 
 class TestSBM:

@@ -45,6 +45,31 @@ class TestRunProfile:
         assert ck["enabled"] is False
         assert ck["writes"] == 0.0
 
+    def test_store_section_without_graph_dir(self, smoke_report):
+        st = smoke_report["store"]
+        assert st["graph_source"] == "generated"
+        assert st["graph_dir"] is None
+        assert st["graph_saves"] == 0.0 and st["mmap_opens"] == 0.0
+
+
+class TestProfileGraphDir:
+    def test_first_run_saves_second_run_mmaps(self, tmp_path):
+        kwargs = dict(scale=0.12, num_targets=40, epochs=1, batch_size=8)
+        first = run_profile(graph_dir=str(tmp_path), **kwargs)
+        st = first["store"]
+        assert st["graph_source"] == "generated"
+        assert st["graph_saves"] == 1.0
+        assert (tmp_path / "task.npz").exists()
+
+        second = run_profile(graph_dir=str(tmp_path), **kwargs)
+        st = second["store"]
+        assert st["graph_source"] == "mmap"
+        assert st["mmap_opens"] >= 1.0
+        assert st["mmap_extracted_links"] > 0.0
+        # Identical workload either way — same dataset, same results.
+        assert second["eval"] == first["eval"]
+        assert second["workload"]["num_links"] == first["workload"]["num_links"]
+
 
 @pytest.mark.fault
 class TestProfileCheckpoint:

@@ -1,0 +1,1 @@
+"""Tests for the zero-copy storage layer (repro.store)."""

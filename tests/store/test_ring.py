@@ -1,0 +1,106 @@
+"""SampleRing: slot bookkeeping, columnar round-trips, overflow fallback."""
+
+import numpy as np
+import pytest
+
+from repro.store import SampleRing
+from tests.data.test_store import make_sample
+
+
+@pytest.fixture()
+def ring():
+    r = SampleRing.create(slots=2, slot_bytes=1 << 20)
+    yield r
+    r.close()
+
+
+def roundtrip(ring, samples):
+    slot = ring.acquire()
+    assert slot >= 0
+    header = ring.write(slot, samples)
+    assert header is not None
+    out = ring.read(slot, header)
+    # Copy out so the slot can be recycled (the views alias it).
+    out = [s._replace(edge_index=s.edge_index.copy()) for s in out]
+    ring.release(slot)
+    return out
+
+
+class TestRoundtrip:
+    def test_preserves_every_field(self, ring):
+        samples = [
+            make_sample(i, 5 + i, 9 + i, edge_attr_dim=3, node_feature_dim=2)
+            for i in range(4)
+        ]
+        slot = ring.acquire()
+        out = ring.read(slot, ring.write(slot, samples))
+        for a, b in zip(out, samples):
+            assert (a.index, a.num_nodes, a.num_edges) == (
+                b.index,
+                b.num_nodes,
+                b.num_edges,
+            )
+            np.testing.assert_array_equal(a.edge_index, b.edge_index)
+            np.testing.assert_array_equal(a.features, b.features)
+            np.testing.assert_array_equal(a.node_type, b.node_type)
+            np.testing.assert_array_equal(a.edge_type, b.edge_type)
+            np.testing.assert_array_equal(a.edge_attr, b.edge_attr)
+            np.testing.assert_array_equal(a.node_features, b.node_features)
+        del a, b, out
+
+    def test_without_optional_columns(self, ring):
+        samples = [make_sample(i, 4, 6) for i in range(3)]
+        out = roundtrip(ring, samples)
+        for a, b in zip(out, samples):
+            assert a.edge_attr is None and a.node_features is None
+            np.testing.assert_array_equal(a.features, b.features)
+
+    def test_attach_sees_owner_writes(self, ring):
+        samples = [make_sample(0, 6, 10)]
+        slot = ring.acquire()
+        header = ring.write(slot, samples)
+        peer = SampleRing.attach(*ring.meta)
+        try:
+            out = peer.read(slot, header)
+            np.testing.assert_array_equal(out[0].features, samples[0].features)
+            del out
+        finally:
+            peer.close()
+        ring.release(slot)
+
+
+class TestSlots:
+    def test_acquire_exhaustion_and_release(self, ring):
+        a, b = ring.acquire(), ring.acquire()
+        assert sorted((a, b)) == [0, 1]
+        assert ring.acquire() == -1  # exhausted → caller pickles
+        ring.release(a)
+        assert ring.acquire() == a
+
+    def test_write_overflow_returns_none(self):
+        ring = SampleRing.create(slots=1, slot_bytes=256)
+        try:
+            big = [make_sample(0, 50, 100, feature_dim=16)]
+            assert ring.write(ring.acquire(), big) is None
+        finally:
+            ring.close()
+
+    def test_required_bytes_matches_layout(self, ring):
+        samples = [make_sample(i, 5, 8, edge_attr_dim=2) for i in range(3)]
+        header = ring.write(ring.acquire(), samples)
+        s, tn, te, f, nf, ea = header
+        assert (s, tn, te) == (3, 15, 24)
+        assert (f, nf, ea) == (4, 0, 2)
+        expected = 8 * (3 * s + tn + 3 * te + tn * f + tn * nf + te * ea)
+        assert SampleRing.required_bytes(header) == expected
+
+    def test_create_validates_geometry(self):
+        with pytest.raises(ValueError):
+            SampleRing.create(slots=0, slot_bytes=1024)
+        with pytest.raises(ValueError):
+            SampleRing.create(slots=2, slot_bytes=8)
+
+    def test_close_is_idempotent(self):
+        ring = SampleRing.create(slots=1, slot_bytes=1024)
+        ring.close()
+        ring.close()

@@ -1,0 +1,61 @@
+"""save_task / load_task: the on-disk LinkTask round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.store import TASK_FILE, has_task, load_task, save_task
+
+
+@pytest.fixture(scope="module")
+def task():
+    return load_dataset("primekg", scale=0.12, rng=0, num_targets=40)
+
+
+class TestRoundtrip:
+    def test_everything_survives(self, task, tmp_path):
+        save_task(tmp_path, task)
+        assert has_task(tmp_path)
+        back = load_task(tmp_path)
+        assert back.graph.is_mmap
+        np.testing.assert_array_equal(back.pairs, task.pairs)
+        np.testing.assert_array_equal(back.labels, task.labels)
+        np.testing.assert_array_equal(back.graph.edge_index, task.graph.edge_index)
+        assert back.num_classes == task.num_classes
+        assert back.class_names == list(task.class_names)
+        assert back.name == task.name
+        assert back.subgraph_mode == task.subgraph_mode
+        assert back.num_hops == task.num_hops
+        assert back.max_subgraph_nodes == task.max_subgraph_nodes
+        assert back.edge_attr_dim == task.edge_attr_dim
+        fc, bfc = task.feature_config, back.feature_config
+        assert (bfc.num_node_types, bfc.use_drnl, bfc.max_drnl_label) == (
+            fc.num_node_types,
+            fc.use_drnl,
+            fc.max_drnl_label,
+        )
+        if fc.embeddings is None:
+            assert bfc.embeddings is None
+        else:
+            np.testing.assert_array_equal(bfc.embeddings, fc.embeddings)
+
+    def test_full_load_option(self, task, tmp_path):
+        save_task(tmp_path, task)
+        back = load_task(tmp_path, mmap=False)
+        assert not back.graph.is_mmap
+        np.testing.assert_array_equal(back.pairs, task.pairs)
+
+    def test_has_task_needs_both_pieces(self, task, tmp_path):
+        assert not has_task(tmp_path)
+        task.graph.save(tmp_path)  # graph alone is not a saved task
+        assert not has_task(tmp_path)
+        save_task(tmp_path, task)
+        assert has_task(tmp_path)
+
+    def test_rejects_foreign_npz(self, task, tmp_path):
+        from repro.seal.checkpoint import write_meta_npz
+
+        task.graph.save(tmp_path)
+        write_meta_npz(tmp_path / TASK_FILE, {}, {"kind": "something-else"})
+        with pytest.raises(ValueError, match="not a saved link task"):
+            load_task(tmp_path)
