@@ -1,0 +1,52 @@
+"""Shared helpers for the microbenchmark history writers.
+
+Every benchmark history file under ``results/`` is a JSON list of runs,
+one envelope per run::
+
+    {"benchmark": "<suite>", "unix_time": <int>, "usable_cores": <int>,
+     "records": [...]}
+
+and every record inside the envelope carries its own ``usable_cores``
+too — ``scripts/check_bench.py`` judges *records*, and the core count
+at record time is what decides whether a parallel speedup is a real
+signal or just scheduler time-slicing.
+
+Writers go through :func:`append_run` so the envelope cannot drift
+between files; it also inherits :func:`repro.utils.save_json`'s atomic
+write and NaN→null policy (a zero-time baseline makes a speedup
+non-finite; the gate skips nulls but counts them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+import time
+
+from repro.data.loader import usable_cores
+from repro.utils import load_json, save_json
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def append_run(path: Path, records: List[Dict], *, benchmark: str) -> Dict:
+    """Append one envelope run holding ``records`` to the history at ``path``.
+
+    Stamps ``usable_cores`` on the envelope and on any record that does
+    not already carry it, then rewrites the history atomically. Returns
+    the envelope that was appended.
+    """
+    cores = usable_cores()
+    for record in records:
+        record.setdefault("usable_cores", cores)
+    run = {
+        "benchmark": benchmark,
+        "unix_time": int(time.time()),
+        "usable_cores": cores,
+        "records": list(records),
+    }
+    path = Path(path)
+    history = load_json(path) if path.exists() else []
+    history.append(run)
+    save_json(path, history)
+    return run

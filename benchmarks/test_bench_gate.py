@@ -1,10 +1,11 @@
 """Opt-in regression gates: planned kernels, batched extraction,
-micro-batched serving and the parallel loader at scale must never
-net-lose to their baselines.
+micro-batched serving, the parallel loader at scale and K-process
+data-parallel training must never net-lose to their baselines.
 
 Runs ``scripts/check_bench.py`` against the committed
 ``results/BENCH_kernels.json`` / ``results/BENCH_extraction.json`` /
-``results/BENCH_serve.json`` / ``results/BENCH_scale.json`` histories.
+``results/BENCH_serve.json`` / ``results/BENCH_scale.json`` /
+``results/BENCH_distributed.json`` histories.
 Marked ``bench_gate`` and kept out of tier-1 (``testpaths``
 excludes ``benchmarks/``); select it with
 
@@ -29,6 +30,9 @@ EXTRACTION_RESULTS = (
 )
 SERVE_RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_serve.json"
 SCALE_RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_scale.json"
+DISTRIBUTED_RESULTS = (
+    Path(__file__).resolve().parent.parent / "results" / "BENCH_distributed.json"
+)
 
 sys.path.insert(0, str(SCRIPTS))
 import check_bench  # noqa: E402
@@ -148,15 +152,87 @@ def test_scale_gate_fails_below_break_even(tmp_path):
 
 
 @pytest.mark.bench_gate
-def test_scale_gate_exempts_single_core_runs(tmp_path):
-    """A slowdown recorded on one core is noise, not regression: warn, pass."""
+def test_scale_gate_skips_single_core_hosts(tmp_path):
+    """Single-core hosts record no parallel_loader results: skip, pass."""
     lone = tmp_path / "BENCH_scale.json"
     lone.write_text(
-        '[{"benchmark": "scale", "unix_time": 0, "records": ['
-        '{"kernel": "parallel_loader", "usable_cores": 1, "speedup": 0.7}'
+        '[{"benchmark": "scale", "unix_time": 0, "usable_cores": 1, "records": ['
+        '{"kernel": "mmap_open", "usable_cores": 1, "speedup": 50.0},'
+        '{"kernel": "ring_transport", "usable_cores": 1, "speedup": 1.2}'
         "]}]"
     )
     out = io.StringIO()
     assert check_bench.check_scale(lone, min_geomean=1.0, out=out) == 0
-    assert "WARNING" in out.getvalue()
-    assert "exempt" in out.getvalue()
+    assert "skipped" in out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_scale_gate_rejects_stale_single_core_records(tmp_path):
+    """A parallel_loader record stamped < 2 cores predates the
+    record-only-multicore policy and must force a history refresh."""
+    stale = tmp_path / "BENCH_scale.json"
+    stale.write_text(
+        '[{"benchmark": "scale", "unix_time": 0, "usable_cores": 1, "records": ['
+        '{"kernel": "parallel_loader", "usable_cores": 1, "speedup": 0.7}'
+        "]}]"
+    )
+    out = io.StringIO()
+    assert check_bench.check_scale(stale, min_geomean=1.0, out=out) == 1
+    assert "refresh" in out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_scale_gate_fails_when_multicore_run_recorded_nothing(tmp_path):
+    """A multi-core run with no parallel_loader records is broken data."""
+    empty = tmp_path / "BENCH_scale.json"
+    empty.write_text(
+        '[{"benchmark": "scale", "unix_time": 0, "usable_cores": 4, "records": ['
+        '{"kernel": "mmap_open", "usable_cores": 4, "speedup": 50.0}'
+        "]}]"
+    )
+    out = io.StringIO()
+    assert check_bench.check_scale(empty, min_geomean=1.0, out=out) == 1
+    assert "FAIL" in out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_data_parallel_throughput_has_not_regressed():
+    if not DISTRIBUTED_RESULTS.exists():
+        pytest.skip(
+            "no BENCH_distributed.json yet — run the distributed microbenchmark"
+        )
+    out = io.StringIO()
+    status = check_bench.check_distributed(
+        DISTRIBUTED_RESULTS, min_speedup=1.5, out=out
+    )
+    print(out.getvalue())
+    assert status == 0, out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_distributed_gate_fails_below_speedup_floor(tmp_path):
+    """The distributed gate bites: 1.2x at K=4 is below the 1.5x bar."""
+    bad = tmp_path / "BENCH_distributed.json"
+    bad.write_text(
+        '[{"benchmark": "distributed", "unix_time": 0, "usable_cores": 4, '
+        '"records": ['
+        '{"kernel": "data_parallel_epoch", "num_shards": 4, '
+        '"usable_cores": 4, "speedup": 1.2}'
+        "]}]"
+    )
+    out = io.StringIO()
+    assert check_bench.check_distributed(bad, min_speedup=1.5, out=out) == 1
+    assert "FAIL" in out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_distributed_gate_skips_single_core_hosts(tmp_path):
+    """Single-core runs carry an envelope but no records: skip, pass."""
+    lone = tmp_path / "BENCH_distributed.json"
+    lone.write_text(
+        '[{"benchmark": "distributed", "unix_time": 0, "usable_cores": 1, '
+        '"records": []}]'
+    )
+    out = io.StringIO()
+    assert check_bench.check_distributed(lone, min_speedup=1.5, out=out) == 0
+    assert "skipped" in out.getvalue()

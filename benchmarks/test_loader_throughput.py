@@ -15,7 +15,6 @@ are available.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -28,6 +27,8 @@ from repro.graph.generators import erdos_renyi_edges
 from repro.graph.structure import Graph
 from repro.seal.dataset import LinkTask, SEALDataset, sample_negative_pairs
 from repro.seal.features import FeatureConfig
+
+from bench_utils import append_run
 
 RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_loader.json"
 NUM_LINKS = 500
@@ -79,7 +80,7 @@ def test_parallel_warm_not_slower_than_serial(task):
     speedup = serial_s / parallel_s
 
     record = {
-        "benchmark": "loader_warm_throughput",
+        "kernel": "loader_warm",
         "num_links": NUM_LINKS,
         "num_nodes": int(task.graph.num_nodes),
         "num_workers": WORKERS,
@@ -89,11 +90,8 @@ def test_parallel_warm_not_slower_than_serial(task):
         "speedup": round(speedup, 3),
         "links_per_s_serial": round(NUM_LINKS / serial_s, 1),
         "links_per_s_parallel": round(NUM_LINKS / parallel_s, 1),
-        "unix_time": int(time.time()),
     }
-    history = json.loads(RESULTS.read_text()) if RESULTS.exists() else []
-    history.append(record)
-    RESULTS.write_text(json.dumps(history, indent=2) + "\n")
+    append_run(RESULTS, [record], benchmark="loader_warm_throughput")
 
     print(
         f"\nloader warm ({cores} core(s)): serial {serial_s:.2f}s, "

@@ -13,7 +13,6 @@ spelling). Appends every run to
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 from typing import Callable, Dict, List
@@ -26,6 +25,8 @@ from repro.graph.generators import barabasi_albert_edges
 from repro.graph.structure import Graph
 from repro.graph.traversal import _take_ragged
 from repro.seal import FeatureConfig, LinkTask, sample_negative_pairs
+
+from bench_utils import append_run
 
 RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_extraction.json"
 
@@ -153,14 +154,7 @@ def test_batched_extraction_beats_per_link():
     bench_batch_extraction(records)
     bench_frontier_gather(records)
 
-    run = {
-        "benchmark": "extraction",
-        "unix_time": int(time.time()),
-        "records": records,
-    }
-    history = json.loads(RESULTS.read_text()) if RESULTS.exists() else []
-    history.append(run)
-    RESULTS.write_text(json.dumps(history, indent=2) + "\n")
+    append_run(RESULTS, records, benchmark="extraction")
 
     for r in records:
         if r["kernel"] == "batch_extraction":

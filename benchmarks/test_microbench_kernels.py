@@ -16,7 +16,6 @@ reported so the amortization claim stays checkable.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 from typing import Callable, Dict, List
@@ -27,6 +26,8 @@ from repro.models.layers import GATConv
 from repro.nn.kernels import PlanCache, SegmentPlan, use_plans
 from repro.nn.indexing import segment_softmax, segment_sum
 from repro.nn.tensor import Tensor
+
+from bench_utils import append_run
 
 RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_kernels.json"
 
@@ -156,14 +157,7 @@ def test_planned_kernels_beat_add_at():
     bench_segment_softmax(records)
     bench_gatconv(records)
 
-    run = {
-        "benchmark": "segment_kernels",
-        "unix_time": int(time.time()),
-        "records": records,
-    }
-    history = json.loads(RESULTS.read_text()) if RESULTS.exists() else []
-    history.append(run)
-    RESULTS.write_text(json.dumps(history, indent=2) + "\n")
+    append_run(RESULTS, records, benchmark="segment_kernels")
 
     for r in records:
         tail = "x".join(map(str, r["tail"])) or "1"

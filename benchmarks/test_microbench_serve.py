@@ -21,7 +21,6 @@ Appends every run to ``results/BENCH_serve.json`` — the record
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 from typing import Callable, Dict, List
@@ -33,6 +32,8 @@ from repro.graph.structure import Graph
 from repro.models import AMDGCNN
 from repro.seal import FeatureConfig, LinkTask, sample_negative_pairs
 from repro.serve import LinkScorer, ModelBundle
+
+from bench_utils import append_run
 
 RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_serve.json"
 
@@ -149,14 +150,7 @@ def test_microbatching_beats_one_request_per_forward():
     records: List[Dict] = []
     bench_serve(records)
 
-    run = {
-        "benchmark": "serve",
-        "unix_time": int(time.time()),
-        "records": records,
-    }
-    history = json.loads(RESULTS.read_text()) if RESULTS.exists() else []
-    history.append(run)
-    RESULTS.write_text(json.dumps(history, indent=2) + "\n")
+    append_run(RESULTS, records, benchmark="serve")
 
     for r in records:
         print(

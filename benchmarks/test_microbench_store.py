@@ -21,15 +21,15 @@ Every record carries ``usable_cores``: on a single-core machine two
 workers can only time-slice the core plus pay IPC, so "parallel not
 slower" is physically unattainable there — the in-test assertion bounds
 the overhead instead (same policy as ``test_loader_throughput.py``) and
-``scripts/check_bench.py --suite scale`` exempts single-core-recorded
-runs with a warning.
+no ``parallel_loader`` record is written at all: a measurement of the
+scheduler is not data, and ``scripts/check_bench.py --suite scale``
+reports the run as skipped rather than exempting bogus numbers.
 
 Appends every run to ``results/BENCH_scale.json``.
 """
 
 from __future__ import annotations
 
-import json
 import pickle
 import time
 from pathlib import Path
@@ -45,6 +45,8 @@ from repro.graph.generators import preferential_attachment_edges
 from repro.graph.structure import Graph
 from repro.seal import FeatureConfig, LinkTask, SEALDataset, sample_negative_pairs
 from repro.store import SampleRing
+
+from bench_utils import append_run
 
 RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_scale.json"
 NUM_NODES = 100_000
@@ -175,46 +177,37 @@ def time_warm(task: LinkTask, num_workers: int, repeats: int = 2) -> float:
     return best
 
 
-def bench_parallel_loader(task: LinkTask, records: List[Dict]) -> None:
+def bench_parallel_loader(task: LinkTask, records: List[Dict]) -> Dict:
+    """Time the warm; record it only when the host can truly parallelize."""
     serial_s = time_warm(task, num_workers=0)
     parallel_s = time_warm(task, num_workers=WORKERS)
-    records.append(
-        {
-            "kernel": "parallel_loader",
-            "num_nodes": NUM_NODES,
-            "num_links": NUM_LINKS,
-            "num_workers": WORKERS,
-            "usable_cores": usable_cores(),
-            "baseline_s": round(serial_s, 4),
-            "store_s": round(parallel_s, 4),
-            "speedup": round(serial_s / parallel_s, 3),
-            "links_per_s_serial": round(NUM_LINKS / serial_s, 1),
-            "links_per_s_parallel": round(NUM_LINKS / parallel_s, 1),
-        }
-    )
+    measurement = {
+        "kernel": "parallel_loader",
+        "num_nodes": NUM_NODES,
+        "num_links": NUM_LINKS,
+        "num_workers": WORKERS,
+        "usable_cores": usable_cores(),
+        "baseline_s": round(serial_s, 4),
+        "store_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3),
+        "links_per_s_serial": round(NUM_LINKS / serial_s, 1),
+        "links_per_s_parallel": round(NUM_LINKS / parallel_s, 1),
+    }
+    if usable_cores() >= 2:
+        records.append(measurement)
+    return measurement
 
 
 def test_store_scale(saved_graph, task):
     records: List[Dict] = []
     bench_mmap_open(saved_graph, records)
     bench_ring_transport(task, records)
-    bench_parallel_loader(task, records)
+    pl = bench_parallel_loader(task, records)
 
-    run = {
-        "benchmark": "scale",
-        "unix_time": int(time.time()),
-        "records": records,
-    }
-    history = json.loads(RESULTS.read_text()) if RESULTS.exists() else []
-    history.append(run)
-    RESULTS.write_text(json.dumps(history, indent=2) + "\n")
+    append_run(RESULTS, records, benchmark="scale")
 
     by_kernel = {r["kernel"]: r for r in records}
-    mo, rt, pl = (
-        by_kernel["mmap_open"],
-        by_kernel["ring_transport"],
-        by_kernel["parallel_loader"],
-    )
+    mo, rt = by_kernel["mmap_open"], by_kernel["ring_transport"]
     cores = usable_cores()
     print(
         f"\nmmap_open  ({mo['bytes_on_disk'] / 1e6:.1f} MB): "

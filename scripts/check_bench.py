@@ -20,18 +20,28 @@ Two suites, each judging the latest run of its history file:
   ``benchmarks/test_microbench_store.py``): the ``parallel_loader``
   speedup (2-worker warm over serial at 10⁵ nodes on an mmap graph)
   must stay >= the threshold (default 1.0x — "parallel never loses").
-  Runs recorded on a single usable core are exempt with a warning:
-  two workers time-slicing one core cannot beat serial, so such a run
-  carries no regression signal (the microbenchmark itself bounds the
-  overhead there).
+  The microbenchmark records ``parallel_loader`` only on hosts with
+  >= 2 usable cores; a run whose envelope says the host was
+  single-core therefore legitimately carries none, and the gate
+  reports "skipped" rather than judging scheduler noise. A
+  single-core-recorded ``parallel_loader`` record is stale data from
+  before that policy and fails the gate until the history is
+  refreshed.
+* ``distributed`` — ``results/BENCH_distributed.json`` (appended by
+  ``benchmarks/test_microbench_distributed.py``): the
+  ``data_parallel_epoch`` throughput speedup (K-process sharded
+  training over the single-process reference) must stay >= the
+  threshold (default 1.5x at K=4). Same hardware policy as ``scale``:
+  single-core hosts record nothing and the gate reports "skipped".
 
 The microbenchmarks themselves assert the stronger >= 2x acceptance bar
 when they *record* a run; the gate only guards against net regressions.
 
 Usage:
-    python scripts/check_bench.py [--suite kernels|extraction|serve|scale|all]
-                                  [--results PATH] [--min-geomean 1.0]
-                                  [--min-edges 10000]
+    python scripts/check_bench.py
+        [--suite kernels|extraction|serve|scale|distributed|all]
+        [--results PATH] [--min-geomean 1.0] [--min-edges 10000]
+        [--min-speedup 1.5]
 
 Wired into pytest as the opt-in ``bench_gate`` marker
 (``benchmarks/test_bench_gate.py``); tier-1 never touches it.
@@ -50,6 +60,7 @@ DEFAULT_RESULTS = _RESULTS_DIR / "BENCH_kernels.json"
 DEFAULT_EXTRACTION_RESULTS = _RESULTS_DIR / "BENCH_extraction.json"
 DEFAULT_SERVE_RESULTS = _RESULTS_DIR / "BENCH_serve.json"
 DEFAULT_SCALE_RESULTS = _RESULTS_DIR / "BENCH_scale.json"
+DEFAULT_DISTRIBUTED_RESULTS = _RESULTS_DIR / "BENCH_distributed.json"
 
 
 def geomean(values):
@@ -133,62 +144,69 @@ def serve_gate_speedups(history):
     return speedups, latest, skipped
 
 
-def scale_gate_records(history):
-    """The records the scale gate judges: ``parallel_loader`` of the most
-    recent run (``mmap_open`` and ``ring_transport`` ride along in the
-    file but are covered by the microbenchmark's own assertions)."""
-    if not history:
-        raise ValueError("benchmark history is empty")
-    latest = history[-1]
-    records = [
-        r for r in latest.get("records", []) if r.get("kernel") == "parallel_loader"
-    ]
-    if not records:
-        raise ValueError("no parallel_loader records in latest run")
-    return records, latest
+def _envelope_cores(latest):
+    """Usable-core count stamped on a run's envelope (or its records)."""
+    cores = latest.get("usable_cores")
+    if cores is None:
+        cores = max(
+            (r.get("usable_cores", 0) for r in latest.get("records", [])),
+            default=0,
+        )
+    return int(cores)
 
 
-def check_scale(results_path, *, min_geomean=1.0, out=sys.stdout):
-    """Scale gate. Returns 0 on pass, 1 on fail (or data missing).
+def _check_conditional(results_path, *, kernel, label, hint, min_speedup, out):
+    """Gate a hardware-conditional kernel: judged only on multi-core hosts.
 
-    Unlike the other gates this one is hardware-conditional: a
-    ``parallel_loader`` record made with fewer than 2 usable cores is
-    exempted (warned about, not judged) — on one core the parallel
-    loader can only time-slice, so its speedup measures the scheduler,
-    not the code.
+    The microbenchmark records ``kernel`` only when >= 2 usable cores
+    are available, so "no records" on a single-core run is a skip, not
+    a failure; on a multi-core run it means the history is broken. A
+    record stamped with < 2 cores predates the record-only-multicore
+    policy and must be refreshed before it can be trusted.
     """
     path = Path(results_path)
     if not path.exists():
-        print(f"check_bench: {path} not found — run the scale "
+        print(f"check_bench: {path} not found — run the {hint} "
               "microbenchmark first", file=out)
         return 1
     try:
         history = json.loads(path.read_text())
-        records, latest = scale_gate_records(history)
-    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        if not history:
+            raise ValueError("benchmark history is empty")
+    except (ValueError, json.JSONDecodeError) as exc:
         print(f"check_bench: unusable benchmark data: {exc}", file=out)
         return 1
-    judged = [r for r in records if r.get("usable_cores", 0) >= 2]
-    exempt = len(records) - len(judged)
+    latest = history[-1]
+    records = [r for r in latest.get("records", []) if r.get("kernel") == kernel]
     stamp = latest.get("unix_time", "?")
-    if exempt:
+    if not records:
+        if _envelope_cores(latest) < 2:
+            print(
+                f"check_bench: run@{stamp}: single-core host recorded no "
+                f"{kernel} results — OK (skipped)", file=out,
+            )
+            return 0
         print(
-            f"check_bench: WARNING — {exempt} parallel_loader record(s) "
-            "recorded on < 2 usable cores are exempt from the gate "
-            "(single-core runs carry no parallel-speedup signal)", file=out,
+            f"check_bench: FAIL — run@{stamp} has >= 2 usable cores but no "
+            f"{kernel} records; rerun the {hint} microbenchmark", file=out,
         )
-    if not judged:
-        print(f"check_bench: run@{stamp}: no multi-core parallel_loader "
-              "records to judge — OK (exempt)", file=out)
-        return 0
-    speedups, skipped = _usable_speedups(judged)
+        return 1
+    stale = [r for r in records if r.get("usable_cores", 0) < 2]
+    if stale:
+        print(
+            f"check_bench: FAIL — {len(stale)} {kernel} record(s) were "
+            "recorded on < 2 usable cores; such runs are no longer "
+            f"recorded — refresh the {hint} history", file=out,
+        )
+        return 1
+    speedups, skipped = _usable_speedups(records)
     if not speedups:
-        print(f"check_bench: unusable benchmark data: all {len(judged)} "
-              "judged records have null speedups", file=out)
+        print(f"check_bench: unusable benchmark data: all {len(records)} "
+              f"{kernel} records have null speedups", file=out)
         return 1
     gm = geomean(speedups)
     print(
-        f"check_bench: run@{stamp}: geomean parallel-loader speedup "
+        f"check_bench: run@{stamp}: geomean {label} speedup "
         f"{gm:.2f}x over {len(speedups)} records {sorted(speedups)}", file=out,
     )
     if skipped:
@@ -196,14 +214,38 @@ def check_scale(results_path, *, min_geomean=1.0, out=sys.stdout):
             f"check_bench: WARNING — skipped {skipped} record(s) with null "
             "(non-finite) speedup; rerun the microbenchmark", file=out,
         )
-    if gm < min_geomean:
+    if gm < min_speedup:
         print(
             f"check_bench: FAIL — geomean {gm:.2f}x below the "
-            f"{min_geomean:.2f}x floor: parallel loader regressed", file=out,
+            f"{min_speedup:.2f}x floor: {label} regressed", file=out,
         )
         return 1
     print("check_bench: OK", file=out)
     return 0
+
+
+def check_scale(results_path, *, min_geomean=1.0, out=sys.stdout):
+    """Scale gate. Returns 0 on pass or legitimate single-core skip."""
+    return _check_conditional(
+        results_path,
+        kernel="parallel_loader",
+        label="parallel-loader",
+        hint="scale",
+        min_speedup=min_geomean,
+        out=out,
+    )
+
+
+def check_distributed(results_path, *, min_speedup=1.5, out=sys.stdout):
+    """Distributed gate. Returns 0 on pass or legitimate single-core skip."""
+    return _check_conditional(
+        results_path,
+        kernel="data_parallel_epoch",
+        label="data-parallel epoch throughput",
+        hint="distributed",
+        min_speedup=min_speedup,
+        out=out,
+    )
 
 
 def _run_gate(results_path, pick, label, hint, *, min_geomean, out):
@@ -279,12 +321,17 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("kernels", "extraction", "serve", "scale", "all"),
+        choices=("kernels", "extraction", "serve", "scale", "distributed", "all"),
         default="kernels",
     )
     parser.add_argument("--results", default=None, help="history file override")
     parser.add_argument("--min-geomean", type=float, default=1.0)
     parser.add_argument("--min-edges", type=int, default=10_000)
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.5,
+        help="distributed suite: floor on the K-process epoch-throughput "
+             "speedup (acceptance bar is 1.5x at K=4)",
+    )
     args = parser.parse_args(argv)
 
     status = 0
@@ -311,6 +358,12 @@ def main(argv=None):
             args.results if args.suite == "scale" and args.results
             else DEFAULT_SCALE_RESULTS,
             min_geomean=args.min_geomean,
+        )
+    if args.suite in ("distributed", "all"):
+        status |= check_distributed(
+            args.results if args.suite == "distributed" and args.results
+            else DEFAULT_DISTRIBUTED_RESULTS,
+            min_speedup=args.min_speedup,
         )
     return status
 

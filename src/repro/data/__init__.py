@@ -24,6 +24,7 @@ from repro.data.loader import DataLoader, collate_from_store, warm
 from repro.data.samplers import (
     Sampler,
     SequentialSampler,
+    ShardedBatchSampler,
     ShuffleSampler,
     StratifiedBatchSampler,
 )
@@ -32,6 +33,7 @@ from repro.data.store import PackedSubgraph, StoreInfo, SubgraphStore
 __all__ = [
     "Sampler",
     "SequentialSampler",
+    "ShardedBatchSampler",
     "ShuffleSampler",
     "StratifiedBatchSampler",
     "SubgraphStore",

@@ -25,6 +25,7 @@ from repro.utils.rng import RngLike, ensure_rng
 __all__ = [
     "Sampler",
     "SequentialSampler",
+    "ShardedBatchSampler",
     "ShuffleSampler",
     "StratifiedBatchSampler",
 ]
@@ -95,6 +96,62 @@ class ShuffleSampler:
         return _chunk(self._gen.permutation(self.indices), self.batch_size)
 
     def __len__(self) -> int:
+        return -(-len(self.indices) // self.batch_size)
+
+
+class ShardedBatchSampler:
+    """One shard's view of a globally shuffled epoch (distributed training).
+
+    Draws the *same* permutation stream over the full index set as
+    :class:`ShuffleSampler` would, chunks it into global batches, and
+    yields each batch filtered down to the links in ``owned`` — order
+    preserved. K shards built from the same seed therefore partition
+    every global batch exactly, which is how the data-parallel trainer
+    (:mod:`repro.distributed`) keeps its per-step gradient groups
+    aligned with single-process batch order.
+
+    Parameters
+    ----------
+    indices: the *global* index set (identical across shards).
+    batch_size: the global batch size.
+    owned: global indices this shard owns (``Shard.owned_links``).
+    rng: seed for the shared permutation stream — must match across
+        shards (and match the single-process baseline) for alignment.
+    drop_empty:
+        when True (default) global batches containing none of this
+        shard's links are skipped — the mode a standalone
+        :class:`~repro.data.DataLoader` needs, since it cannot collate
+        an empty batch. The trainer keeps step alignment itself and
+        writes a zero gradient slab for empty groups.
+    """
+
+    def __init__(
+        self,
+        indices: Sequence[int],
+        batch_size: int,
+        *,
+        owned: Sequence[int],
+        rng: RngLike = None,
+        drop_empty: bool = True,
+    ):
+        self.indices = _check_indices(indices)
+        self.batch_size = _check_batch_size(batch_size)
+        self.owned = _check_indices(owned)
+        self.drop_empty = bool(drop_empty)
+        hi = int(max(self.indices.max(initial=-1), self.owned.max(initial=-1)))
+        mask = np.zeros(hi + 1, dtype=bool)
+        mask[self.owned] = True
+        self._owned_mask = mask
+        self._gen = ensure_rng(rng)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for batch in _chunk(self._gen.permutation(self.indices), self.batch_size):
+            mine = batch[self._owned_mask[batch]]
+            if mine.size or not self.drop_empty:
+                yield mine
+
+    def __len__(self) -> int:
+        """Global step count (an upper bound when ``drop_empty``)."""
         return -(-len(self.indices) // self.batch_size)
 
 

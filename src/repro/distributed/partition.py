@@ -1,0 +1,399 @@
+"""Graph partitioning for data-parallel training.
+
+Splits a :class:`~repro.graph.Graph` (plus the link set of a
+:class:`~repro.seal.LinkTask`) into ``K`` shards. Each shard owns a
+deterministic subset of the *links* (ownership follows the source
+endpoint's node owner) and materializes a shard-local graph over its
+**halo**: every node within ``task.num_hops`` hops of any owned link
+endpoint. Because SEAL's enclosing-subgraph extraction never looks past
+``num_hops``, extracting an owned link against the shard-local graph is
+bit-identical to extracting it against the full graph — the property
+the data-parallel trainer's bit-identity guarantee rests on (see
+``tests/distributed/test_partition.py``).
+
+Two owner assignments are provided:
+
+``hash``
+    A stateless multiplicative hash of the node id. Deterministic across
+    processes and platforms (pure uint64 arithmetic), O(N), and needs no
+    graph structure — the choice for huge graphs.
+``greedy``
+    Sequential greedy edge-cut in descending-degree order: each node
+    joins the shard holding most of its already-placed neighbors,
+    subject to a capacity cap. Slower (Python loop over nodes) but cuts
+    far fewer edges on clustered graphs, shrinking halos.
+
+Shards persist through the existing :class:`repro.store.GraphStorage`
+mmap format (:meth:`GraphPartition.save` / :meth:`GraphPartition.open`),
+so worker processes open their shard zero-copy and pickling a shard
+graph ships only its path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+import repro.obs as obs
+from repro.graph.structure import Graph
+from repro.graph.traversal import k_hop_union
+from repro.seal.dataset import LinkTask
+
+__all__ = [
+    "PARTITION_FORMAT",
+    "Shard",
+    "GraphPartition",
+    "hash_node_owners",
+    "greedy_node_owners",
+    "partition_graph",
+    "shard_task",
+]
+
+logger = logging.getLogger(__name__)
+
+PARTITION_FORMAT = 1
+_PARTITION_FILE = "partition.json"
+_ASSIGNMENT_FILE = "assignment.npz"
+_MEMBERS_FILE = "members.npz"
+
+# splitmix64-style multiplicative constants — fixed forever so hash
+# partitions are reproducible across sessions and machines.
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+_HASH_SEED_MULT = np.uint64(0xBF58476D1CE4E5B9)
+
+
+def hash_node_owners(num_nodes: int, num_shards: int, *, seed: int = 0) -> np.ndarray:
+    """Stateless node→shard assignment via a splitmix64-style mix.
+
+    Pure uint64 arithmetic (wrapping is well-defined), so every process
+    computes the same owners without communication.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    ids = np.arange(num_nodes, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        mixed = ids * _HASH_MULT + np.uint64(seed & 0xFFFFFFFFFFFFFFFF) * _HASH_SEED_MULT
+        mixed ^= mixed >> np.uint64(31)
+        mixed *= _HASH_MULT
+        mixed ^= mixed >> np.uint64(29)
+    return (mixed % np.uint64(num_shards)).astype(np.int64)
+
+
+def greedy_node_owners(
+    graph: Graph,
+    num_shards: int,
+    *,
+    seed: int = 0,
+    imbalance: float = 1.1,
+) -> np.ndarray:
+    """Greedy edge-cut assignment: nodes placed in descending-degree order.
+
+    Each node goes to the shard already holding the most of its
+    neighbors (LDG-style streaming placement), capped at
+    ``ceil(N / K * imbalance)`` nodes per shard; ties break toward the
+    least-loaded shard, then the lowest shard index. Deterministic: the
+    visit order is a stable degree sort and ``seed`` only reorders
+    equal-degree nodes via the hash mix, keeping placement reproducible.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if imbalance < 1.0:
+        raise ValueError("imbalance must be >= 1.0")
+    n = graph.num_nodes
+    owner = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return owner
+    capacity = int(np.ceil(n / num_shards * imbalance))
+    # Stable descending-degree order; the seed-keyed hash breaks degree
+    # ties deterministically without favoring low node ids.
+    degree = graph.degree()
+    tie = hash_node_owners(n, max(n, 1), seed=seed)
+    order = np.lexsort((tie, -degree))
+    indptr, indices, _ = graph.csr()
+    loads = np.zeros(num_shards, dtype=np.int64)
+    for v in order:
+        nbrs = indices[indptr[v] : indptr[v + 1]]
+        placed = owner[nbrs]
+        placed = placed[placed >= 0]
+        gain = np.bincount(placed, minlength=num_shards).astype(np.float64)
+        gain[loads >= capacity] = -np.inf
+        # Prefer neighbor affinity, then light load, then low index.
+        best = np.lexsort((np.arange(num_shards), loads, -gain))[0]
+        owner[v] = best
+        loads[best] += 1
+    return owner
+
+
+@dataclass
+class Shard:
+    """One shard of a partitioned task.
+
+    ``graph`` is the halo-induced shard-local graph; ``node_map[i]`` is
+    the global id of shard node ``i`` (sorted ascending, so global→local
+    relabeling is monotone — the property that keeps shard-local
+    extraction bit-identical to full-graph extraction); ``owned_links``
+    are the *global* link indices this shard trains on.
+    """
+
+    index: int
+    graph: Graph
+    node_map: np.ndarray
+    owned_links: np.ndarray
+
+    @property
+    def num_halo_nodes(self) -> int:
+        return int(self.node_map.shape[0])
+
+
+@dataclass
+class GraphPartition:
+    """A K-way partition of a link task's graph and link set."""
+
+    shards: List[Shard]
+    node_owner: np.ndarray
+    link_owner: np.ndarray
+    method: str
+    num_hops: int
+    seed: int
+    cut_edges: int = 0
+    path: Optional[Path] = field(default=None, compare=False)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_links(self) -> int:
+        return int(self.link_owner.shape[0])
+
+    def stats(self) -> dict:
+        """Partition quality: cut edges, halo sizes, replication factor."""
+        num_nodes = int(self.node_owner.shape[0])
+        halo_sizes = [s.num_halo_nodes for s in self.shards]
+        owned_nodes = np.bincount(self.node_owner, minlength=self.num_shards)
+        owned_links = [int(s.owned_links.shape[0]) for s in self.shards]
+        total_halo = int(sum(halo_sizes))
+        return {
+            "num_shards": self.num_shards,
+            "method": self.method,
+            "num_hops": self.num_hops,
+            "seed": self.seed,
+            "num_nodes": num_nodes,
+            "num_links": self.num_links,
+            "cut_edges": int(self.cut_edges),
+            "owned_nodes": [int(c) for c in owned_nodes],
+            "owned_links": owned_links,
+            "halo_nodes": halo_sizes,
+            "replication_factor": (total_halo / num_nodes) if num_nodes else 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory) -> Path:
+        """Persist the partition under ``directory``.
+
+        Layout: ``assignment.npz`` (owner vectors), one
+        ``shard_NNN/`` per shard — the shard graph in
+        :class:`~repro.store.GraphStorage` mmap format plus a
+        ``members.npz`` with ``node_map``/``owned_links`` — and
+        ``partition.json`` written *last* as the completeness marker
+        (mirroring ``GraphStorage.save``'s meta-last protocol).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        np.savez(
+            directory / _ASSIGNMENT_FILE,
+            node_owner=self.node_owner,
+            link_owner=self.link_owner,
+        )
+        for shard in self.shards:
+            sub = directory / f"shard_{shard.index:03d}"
+            shard.graph.save(sub)
+            np.savez(
+                sub / _MEMBERS_FILE,
+                node_map=shard.node_map,
+                owned_links=shard.owned_links,
+            )
+        meta = {
+            "format": "repro-partition",
+            "version": PARTITION_FORMAT,
+            "num_shards": self.num_shards,
+            "method": self.method,
+            "num_hops": self.num_hops,
+            "seed": self.seed,
+            "stats": self.stats(),
+        }
+        (directory / _PARTITION_FILE).write_text(json.dumps(meta, indent=2))
+        self.path = directory
+        return directory
+
+    @classmethod
+    def open(cls, directory, *, mmap: bool = True) -> "GraphPartition":
+        """Reopen a saved partition; shard graphs memory-map zero-copy."""
+        directory = Path(directory)
+        meta_path = directory / _PARTITION_FILE
+        if not meta_path.exists():
+            raise FileNotFoundError(
+                f"no partition at {directory} (missing {_PARTITION_FILE})"
+            )
+        meta = json.loads(meta_path.read_text())
+        if meta.get("format") != "repro-partition":
+            raise ValueError(f"{meta_path} is not a repro partition manifest")
+        if meta.get("version") != PARTITION_FORMAT:
+            raise ValueError(
+                f"unsupported partition version {meta.get('version')!r}"
+            )
+        with np.load(directory / _ASSIGNMENT_FILE) as npz:
+            node_owner = npz["node_owner"].copy()
+            link_owner = npz["link_owner"].copy()
+        shards = []
+        for index in range(int(meta["num_shards"])):
+            sub = directory / f"shard_{index:03d}"
+            graph = Graph.open(sub, mmap=mmap)
+            with np.load(sub / _MEMBERS_FILE) as npz:
+                node_map = npz["node_map"].copy()
+                owned_links = npz["owned_links"].copy()
+            shards.append(
+                Shard(
+                    index=index,
+                    graph=graph,
+                    node_map=node_map,
+                    owned_links=owned_links,
+                )
+            )
+        return cls(
+            shards=shards,
+            node_owner=node_owner,
+            link_owner=link_owner,
+            method=str(meta["method"]),
+            num_hops=int(meta["num_hops"]),
+            seed=int(meta["seed"]),
+            cut_edges=int(meta.get("stats", {}).get("cut_edges", 0)),
+            path=directory,
+        )
+
+
+def partition_graph(
+    task: LinkTask,
+    num_shards: int,
+    *,
+    method: str = "hash",
+    seed: int = 0,
+    imbalance: float = 1.1,
+) -> GraphPartition:
+    """Partition ``task``'s graph and links into ``num_shards`` shards.
+
+    Link ownership follows the owner of the link's source endpoint, so
+    the shard→link assignment is a pure function of ``(method, seed)``
+    and the graph — every process derives the same split. Each shard's
+    halo covers ``task.num_hops`` hops around all owned-link endpoints
+    (positive and negative pairs alike), which is exactly the
+    neighborhood SEAL extraction can reach.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    graph = task.graph
+    if method == "hash":
+        node_owner = hash_node_owners(graph.num_nodes, num_shards, seed=seed)
+    elif method == "greedy":
+        node_owner = greedy_node_owners(
+            graph, num_shards, seed=seed, imbalance=imbalance
+        )
+    else:
+        raise ValueError(f"unknown partition method {method!r} (hash|greedy)")
+    link_owner = node_owner[task.pairs[:, 0]]
+    src, dst = graph.edge_index
+    cut_edges = int(np.count_nonzero(node_owner[src] != node_owner[dst]))
+
+    shards: List[Shard] = []
+    for index in range(num_shards):
+        owned_links = np.flatnonzero(link_owner == index)
+        endpoints = task.pairs[owned_links].reshape(-1)
+        halo = k_hop_union(graph, endpoints, task.num_hops)
+        shard_graph, node_map = graph.induced_subgraph(halo)
+        shards.append(
+            Shard(
+                index=index,
+                graph=shard_graph,
+                node_map=node_map,
+                owned_links=owned_links,
+            )
+        )
+    part = GraphPartition(
+        shards=shards,
+        node_owner=node_owner,
+        link_owner=link_owner,
+        method=method,
+        num_hops=task.num_hops,
+        seed=seed,
+        cut_edges=cut_edges,
+    )
+    if obs.enabled():
+        obs.count("distributed.partition.cut_edges", cut_edges)
+        obs.count(
+            "distributed.partition.halo_nodes",
+            int(sum(s.num_halo_nodes for s in shards)),
+        )
+        obs.count("distributed.partition.owned_links", part.num_links)
+        obs.gauge(
+            "distributed.partition.replication_factor",
+            part.stats()["replication_factor"],
+        )
+    logger.info(
+        "partitioned %d nodes / %d links into %d shards (%s): "
+        "cut=%d replication=%.2f",
+        graph.num_nodes,
+        part.num_links,
+        num_shards,
+        method,
+        cut_edges,
+        part.stats()["replication_factor"],
+    )
+    return part
+
+
+def shard_task(task: LinkTask, shard: Shard) -> LinkTask:
+    """The shard-local view of ``task`` for one shard.
+
+    Keeps *global* link indexing: the returned task has the same number
+    of links as the full task, with owned rows' endpoints remapped to
+    shard-local node ids and every non-owned row set to ``(-1, -1)``
+    (inert — extraction on one fails loudly, and the trainer never asks
+    for them). Global indexing means the shard dataset's extraction
+    streams (keyed ``(task.name, link index)``), labels, and store slots
+    all line up with the full-graph dataset — the bit-identity
+    invariant.
+    """
+    graph = task.graph
+    lookup = np.full(graph.num_nodes, -1, dtype=np.int64)
+    lookup[shard.node_map] = np.arange(shard.node_map.shape[0], dtype=np.int64)
+    pairs = np.full_like(task.pairs, -1)
+    owned = shard.owned_links
+    pairs[owned] = lookup[task.pairs[owned]]
+    if (pairs[owned] < 0).any():
+        raise AssertionError("owned link endpoint missing from shard halo")
+    config = task.feature_config
+    if config.embeddings is not None:
+        config = dataclasses.replace(
+            config, embeddings=config.embeddings[shard.node_map]
+        )
+    return LinkTask(
+        graph=shard.graph,
+        pairs=pairs,
+        labels=task.labels,
+        num_classes=task.num_classes,
+        feature_config=config,
+        class_names=task.class_names,
+        name=task.name,
+        subgraph_mode=task.subgraph_mode,
+        num_hops=task.num_hops,
+        max_subgraph_nodes=task.max_subgraph_nodes,
+        edge_attr_dim=task.edge_attr_dim,
+    )

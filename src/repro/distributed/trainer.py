@@ -1,0 +1,648 @@
+"""Data-parallel SEAL training over a sharded graph.
+
+:func:`train_data_parallel` runs the same optimization as
+:func:`repro.seal.train` with the per-step gradient work split across
+``K`` shards of a :class:`~repro.distributed.GraphPartition`. Each
+global mini-batch (drawn from the *same* shuffle stream the
+single-process trainer uses) is grouped by link owner; every shard
+computes the gradient of its group's loss scaled by ``n_shard /
+n_batch`` — so the ordered sum of shard losses *is* the batch's mean
+cross-entropy and the ordered sum of shard gradient slabs *is* the
+batch gradient — and one parent applies guard, clip and Adam exactly as
+the single-process loop would.
+
+Bit-identity contract
+---------------------
+* ``num_shards=1, processes=0`` reproduces :func:`repro.seal.train`
+  bit-for-bit (the ×1.0 loss scale is IEEE-exact).
+* ``processes=K`` (one OS process per shard, gradients exchanged
+  through a :class:`~repro.store.ParameterBuffer` with a barrier per
+  step) is bit-identical to ``processes=0`` with the same partition:
+  both modes run the same per-shard forward/backward on the same
+  shard-local graphs and the same strict-rank-order reduction.
+* Any ``K`` is bit-identical to any other ``K`` *up to the grouping*:
+  the per-step float sequence is partition-defined, so K=2 and K=4 of
+  the same partition seed agree with each other through the K=1
+  reference only when their reductions commute exactly — which the
+  tests pin down per K against the in-process reference.
+* Resume goes through the existing :mod:`repro.seal.checkpoint`
+  bundles: the parent owns model, optimizer and every RNG stream, so a
+  mid-run bundle restores into either mode bit-identically.
+
+Workers consume shard-local links through the existing
+``SEALDataset``/``build_packed_samples`` store path against their
+shard's mmap graph (opened zero-copy; daemonic workers cannot nest a
+``DataLoader`` pool, so extraction inside a worker is serial — the
+parallelism is across shards).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import tempfile
+import time
+from dataclasses import dataclass
+from threading import BrokenBarrierError
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import obs
+from repro.data.loader import usable_cores
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.obs.callbacks import TrainingLogger
+from repro.seal.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    checkpoint_path,
+    prune_checkpoints,
+    save_checkpoint,
+)
+from repro.seal.dataset import SEALDataset
+from repro.seal.evaluator import EvalResult, evaluate
+from repro.seal.results import TrainResult
+from repro.seal.trainer import (
+    NonFiniteLossError,
+    TrainConfig,
+    _resolve_callbacks,
+    _resume_from_checkpoint,
+    _snapshot,
+    _training_generators,
+    _update_phase_seconds,
+)
+from repro.store.parambuf import CMD_ABORT, CMD_RUN, CMD_STOP, ParameterBuffer
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngLike, derive, generator_state, restore_generator_state
+from repro.utils.timing import Stopwatch
+
+from repro.distributed.partition import GraphPartition, partition_graph, shard_task
+
+__all__ = ["DistributedConfig", "train_data_parallel"]
+
+logger = get_logger("distributed.trainer")
+
+
+@dataclass
+class DistributedConfig(TrainConfig):
+    """Hyperparameters of a data-parallel run (extends TrainConfig).
+
+    ``processes=0`` runs every shard sequentially in the calling process
+    — the reference mode used for bit-identity testing and single-core
+    hosts; ``processes=num_shards`` spawns one worker process per shard.
+    """
+
+    num_shards: int = 2
+    processes: int = 0  # 0 = in-process reference; otherwise must equal num_shards
+    partition_method: str = "hash"
+    #: seconds any step/epoch barrier may wait before the run is
+    #: declared wedged (the distributed analogue of the loader's
+    #: hung-worker timeout from the fault-tolerance PR)
+    barrier_timeout: float = 300.0
+
+
+def _named_arrays(model: Module) -> Dict[str, np.ndarray]:
+    return {name: p.data for name, p in model.named_parameters()}
+
+
+def _load_params(named, values: Dict[str, np.ndarray]) -> None:
+    for name, p in named:
+        p.data[...] = values[name]
+
+
+def _shard_step_grads(model: Module, dataset: SEALDataset, mine: np.ndarray, n_global: int):
+    """One shard's contribution to one global step.
+
+    Returns ``(grads, loss, count)`` for :meth:`ParameterBuffer.put_grads`:
+    the gradients of ``mean_CE(shard group) * (len(group) / n_global)``.
+    Empty groups contribute ``(None, 0.0, 0)`` — a zero slab — and a
+    non-finite shard loss ships ``None`` grads so the poison reaches the
+    parent only through the loss total the guard inspects.
+    """
+    if mine.size == 0:
+        return None, 0.0, 0
+    from repro.data.loader import collate_from_store
+
+    dataset.ensure_many(mine)
+    batch = collate_from_store(
+        dataset.store, mine, edge_attr_dim=dataset.task.edge_attr_dim
+    )
+    labels = dataset.task.labels[mine]
+    for _, p in model.named_parameters():
+        p.grad = None
+    with obs.trace("forward"):
+        logits = model(batch)
+        loss = cross_entropy(logits, labels) * (float(mine.size) / float(n_global))
+    loss_val = float(loss.data)
+    grads = None
+    if np.isfinite(loss_val):
+        with obs.trace("backward"):
+            loss.backward()
+        grads = {name: p.grad for name, p in model.named_parameters()}
+    return grads, loss_val, int(mine.size)
+
+
+def _worker_main(
+    rank: int,
+    model: Module,
+    task,
+    owned_links: np.ndarray,
+    train_indices: np.ndarray,
+    config: DistributedConfig,
+    start_epoch: int,
+    shuffle_state: dict,
+    buffer_meta,
+    barrier,
+    report_queue,
+    dataset_rng: RngLike,
+) -> None:
+    """Shard worker: replicate the global batch schedule, push gradients.
+
+    Owns a model replica and the shard-local dataset; replays the same
+    shuffle stream as the parent (restored from ``shuffle_state``), so
+    each global batch is reconstructed locally and filtered to owned
+    links without any index traffic. Per step: write grads →
+    barrier A → barrier B → read command + fresh params.
+    """
+    buffer = ParameterBuffer.attach(buffer_meta)
+    grad_seconds = 0.0
+    barrier_seconds = 0.0
+    links = 0
+    steps = 0
+    try:
+        gen = np.random.default_rng(0)
+        restore_generator_state(gen, shuffle_state)
+        dataset = SEALDataset(task, rng=dataset_rng)
+        owned_mask = np.zeros(task.num_links, dtype=bool)
+        owned_mask[owned_links] = True
+        model.train()
+        named = list(model.named_parameters())
+        _load_params(named, buffer.get_params())
+        batch_size = config.batch_size
+        stop = False
+        for _epoch in range(start_epoch, config.epochs):
+            perm = gen.permutation(train_indices)
+            for start in range(0, len(perm), batch_size):
+                gbatch = perm[start : start + batch_size]
+                mine = gbatch[owned_mask[gbatch]]
+                t0 = time.perf_counter()
+                grads, loss, count = _shard_step_grads(
+                    model, dataset, mine, len(gbatch)
+                )
+                grad_seconds += time.perf_counter() - t0
+                buffer.put_grads(rank, grads, loss, count)
+                links += int(mine.size)
+                steps += 1
+                t0 = time.perf_counter()
+                barrier.wait(config.barrier_timeout)  # A: grads ready
+                barrier.wait(config.barrier_timeout)  # B: params ready
+                barrier_seconds += time.perf_counter() - t0
+                if buffer.get_command() == CMD_ABORT:
+                    stop = True
+                    break
+                _load_params(named, buffer.get_params())
+            if stop:
+                break
+            barrier.wait(config.barrier_timeout)  # E: epoch verdict
+            if buffer.get_command() == CMD_STOP:
+                break
+        report_queue.put(
+            {
+                "rank": rank,
+                "steps": steps,
+                "links": links,
+                "grad_seconds": grad_seconds,
+                "barrier_seconds": barrier_seconds,
+            }
+        )
+    except BrokenBarrierError:
+        # Parent aborted (its exception propagates there) — exit quietly.
+        pass
+    except BaseException as exc:  # pragma: no cover - exercised via fault tests
+        try:
+            report_queue.put({"rank": rank, "error": f"{type(exc).__name__}: {exc}"})
+        except Exception:
+            pass
+        try:
+            barrier.abort()
+        except Exception:
+            pass
+    finally:
+        buffer.close()
+
+
+def _check_model_supported(model: Module, config: DistributedConfig) -> None:
+    """Reject stochastic-forward models that cannot stay bit-identical.
+
+    An active dropout layer draws from a per-module stream; K replicas
+    would each consume their own copy of that stream, diverging from
+    the sequential reference. (``num_shards=1, processes=0`` is the
+    single-stream case and stays allowed.)
+    """
+    if config.num_shards == 1 and config.processes == 0:
+        return
+    for i, mod in enumerate(model.modules()):
+        rng = getattr(mod, "_rng", None)
+        if isinstance(rng, np.random.Generator) and float(getattr(mod, "p", 0.0)) > 0.0:
+            raise ValueError(
+                "data-parallel training does not support modules with an "
+                f"active stochastic forward (module {i}: "
+                f"{type(mod).__name__} with p={mod.p}); set dropout to 0"
+            )
+
+
+def train_data_parallel(
+    model: Module,
+    dataset: SEALDataset,
+    train_indices: Sequence[int],
+    config: DistributedConfig,
+    *,
+    partition: Optional[GraphPartition] = None,
+    eval_indices: Optional[Sequence[int]] = None,
+    rng: RngLike = 0,
+    callbacks: Optional[Iterable[TrainingLogger]] = None,
+    verbose: Union[bool, None] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
+) -> TrainResult:
+    """Train ``model`` data-parallel over ``config.num_shards`` shards.
+
+    Mirrors :func:`repro.seal.train`'s semantics (guards, callbacks,
+    eval cadence, early stopping, checkpointing) with the gradient work
+    sharded. See the module docstring for the bit-identity contract.
+
+    Parameters beyond :func:`repro.seal.train`'s:
+
+    partition: a prebuilt :class:`GraphPartition` of ``dataset.task``;
+        built on the fly (``config.partition_method``) when omitted. In
+        multi-process mode an unsaved partition is persisted to a
+        temporary directory first so workers open their shard graphs
+        zero-copy.
+    """
+    if config.epochs <= 0:
+        raise ValueError("epochs must be positive")
+    if config.max_nonfinite_steps < 1:
+        raise ValueError("max_nonfinite_steps must be >= 1")
+    if config.num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if config.processes not in (0, config.num_shards):
+        raise ValueError(
+            f"processes must be 0 (in-process) or num_shards="
+            f"{config.num_shards}, got {config.processes}"
+        )
+    if config.class_weights is not None:
+        raise ValueError(
+            "class_weights are not supported in data-parallel training: "
+            "weighted cross-entropy normalizes by the batch's weight sum, "
+            "which does not decompose exactly across shard groups"
+        )
+    if config.restore_best and eval_indices is None:
+        raise ValueError("restore_best requires eval_indices")
+    if config.patience is not None and eval_indices is None:
+        raise ValueError("patience (early stopping) requires eval_indices")
+    if config.patience is not None and config.patience < 1:
+        raise ValueError("patience must be >= 1")
+    train_indices = np.asarray(train_indices, dtype=np.int64)
+    if train_indices.size == 0:
+        raise ValueError(
+            "train_indices is empty — an epoch over zero batches would "
+            "silently record a 0.0 loss"
+        )
+    _check_model_supported(model, config)
+
+    task = dataset.task
+    if partition is None:
+        part_seed = int(derive(rng, "partition").integers(0, 2**31 - 1))
+        partition = partition_graph(
+            task,
+            config.num_shards,
+            method=config.partition_method,
+            seed=part_seed,
+        )
+    if partition.num_shards != config.num_shards:
+        raise ValueError(
+            f"partition has {partition.num_shards} shards, "
+            f"config.num_shards={config.num_shards}"
+        )
+    if partition.num_links != task.num_links:
+        raise ValueError(
+            f"partition covers {partition.num_links} links, "
+            f"task has {task.num_links}"
+        )
+
+    use_mp = config.processes > 0
+    if use_mp and usable_cores() < 2:
+        logger.warning(
+            "processes=%d requested on a host with %d usable core(s); "
+            "workers will timeshare one core",
+            config.processes, usable_cores(),
+        )
+
+    optimizer = Adam(
+        model.named_parameters(), lr=config.lr, weight_decay=config.weight_decay
+    )
+    cbs = _resolve_callbacks(callbacks, verbose, None)
+    shuffle_rng = derive(rng, "shuffle")
+    gens = _training_generators(model, None, shuffle_rng)
+    result = TrainResult()
+    watch = Stopwatch()
+    best_state = None
+    start_epoch = 0
+    last_written = 0
+    snapshot: Optional[Checkpoint] = None
+
+    ck = _resume_from_checkpoint(checkpoint, model, optimizer, gens, config.epochs)
+    if ck is not None:
+        ck_shards = ck.train_config.get("num_shards")
+        if ck_shards is not None and int(ck_shards) != config.num_shards:
+            logger.warning(
+                "resuming a %s-shard checkpoint with num_shards=%d — losses "
+                "remain correct but the float sequence is partition-defined",
+                ck_shards, config.num_shards,
+            )
+        result = ck.result
+        result.resumed_from_epoch = ck.epoch
+        best_state = ck.best_state
+        start_epoch = ck.epoch
+        last_written = ck.epoch
+        snapshot = ck
+
+    # Resuming a run that had already early-stopped: nothing left to do
+    # (checked before spawning workers so none sit at a barrier forever).
+    halted = (
+        config.patience is not None
+        and result.best_epoch is not None
+        and start_epoch - 1 - result.best_epoch >= config.patience
+    )
+
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    workers: List = []
+    barrier = None
+    report_queue = None
+    reports: List[dict] = []
+    spec = [(name, p.data.shape) for name, p in model.named_parameters()]
+    named = list(model.named_parameters())
+    params = model.parameters()
+    max_norm = config.grad_clip if config.grad_clip is not None else np.inf
+
+    if use_mp and not halted:
+        if any(not s.graph.is_mmap for s in partition.shards):
+            tmp = tempfile.TemporaryDirectory(prefix="repro-partition-")
+            partition.save(tmp.name)
+            partition = GraphPartition.open(tmp.name, mmap=True)
+        buffer = ParameterBuffer.create(spec, config.num_shards)
+    else:
+        buffer = ParameterBuffer.local(spec, config.num_shards)
+
+    shard_tasks = [shard_task(task, s) for s in partition.shards]
+    shard_grad_seconds = np.zeros(config.num_shards)
+    shard_links = np.zeros(config.num_shards, dtype=np.int64)
+    shard_steps = np.zeros(config.num_shards, dtype=np.int64)
+
+    model.train()
+    for cb in cbs:
+        cb.on_train_begin(config, result)
+
+    def write_snapshot(snap: Checkpoint) -> None:
+        nonlocal last_written
+        save_checkpoint(checkpoint_path(checkpoint.dir, snap.epoch), snap)
+        prune_checkpoints(checkpoint.dir, checkpoint.keep_last)
+        last_written = snap.epoch
+
+    def make_snapshot(epoch: int) -> Checkpoint:
+        snap = _snapshot(epoch, model, optimizer, gens, result, best_state, config)
+        snap.train_config["num_shards"] = config.num_shards
+        return snap
+
+    if use_mp and not halted:
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork") if "fork" in methods else mp.get_context()
+        barrier = ctx.Barrier(config.num_shards + 1)
+        report_queue = ctx.Queue()
+        buffer.put_params(_named_arrays(model))
+        buffer.set_command(CMD_RUN)
+        shuffle_state = generator_state(shuffle_rng)
+        for rank in range(config.num_shards):
+            w = ctx.Process(
+                target=_worker_main,
+                args=(
+                    rank,
+                    model,
+                    shard_tasks[rank],
+                    partition.shards[rank].owned_links,
+                    train_indices,
+                    config,
+                    start_epoch,
+                    shuffle_state,
+                    buffer.meta,
+                    barrier,
+                    report_queue,
+                    dataset.rng_seed,
+                ),
+                daemon=True,
+                name=f"repro-shard-{rank}",
+            )
+            w.start()
+            workers.append(w)
+        shard_datasets: List[Optional[SEALDataset]] = []
+        owned_masks: List[np.ndarray] = []
+    else:
+        shard_datasets = [SEALDataset(t, rng=dataset.rng_seed) for t in shard_tasks]
+        owned_masks = []
+        for shard in partition.shards:
+            mask = np.zeros(task.num_links, dtype=bool)
+            mask[shard.owned_links] = True
+            owned_masks.append(mask)
+
+    bad_streak = 0
+    try:
+        for epoch in range(start_epoch, config.epochs):
+            if halted:
+                break
+            perm = shuffle_rng.permutation(train_indices)
+            epoch_losses: list = []
+            epoch_start = watch.totals["epoch"]
+            abort_exc: Optional[NonFiniteLossError] = None
+            with watch.segment("epoch"):
+                for start in range(0, len(perm), config.batch_size):
+                    gbatch = perm[start : start + config.batch_size]
+                    if use_mp:
+                        t0 = time.perf_counter()
+                        barrier.wait(config.barrier_timeout)  # A: grads ready
+                        obs.observe(
+                            "distributed.barrier_wait_seconds",
+                            time.perf_counter() - t0,
+                        )
+                    else:
+                        for rank in range(config.num_shards):
+                            mine = gbatch[owned_masks[rank][gbatch]]
+                            t0 = time.perf_counter()
+                            # _shard_step_grads traces forward/backward itself.
+                            with watch.segment("forward"):
+                                grads, loss, count = _shard_step_grads(
+                                    model, shard_datasets[rank], mine, len(gbatch)
+                                )
+                            shard_grad_seconds[rank] += time.perf_counter() - t0
+                            shard_links[rank] += int(mine.size)
+                            shard_steps[rank] += 1
+                            buffer.put_grads(rank, grads, loss, count)
+                    with watch.segment("optimizer"), obs.trace("optimizer"):
+                        loss_val = buffer.reduce_loss()
+                        step_ok = bool(np.isfinite(loss_val))
+                        grad_norm = None
+                        if step_ok:
+                            reduced = buffer.reduce_grads()
+                            for name, p in named:
+                                p.grad = reduced[name]
+                            grad_norm = clip_grad_norm(params, max_norm)
+                            step_ok = bool(np.isfinite(grad_norm))
+                        if step_ok:
+                            optimizer.step()
+                            epoch_losses.append(loss_val)
+                            bad_streak = 0
+                        else:
+                            bad_streak += 1
+                            result.nonfinite_steps += 1
+                            obs.count("train.nonfinite_steps")
+                            logger.warning(
+                                "non-finite step skipped at epoch %d (loss=%s, "
+                                "grad_norm=%s; %d consecutive)",
+                                epoch + 1, loss_val, grad_norm, bad_streak,
+                            )
+                            if bad_streak >= config.max_nonfinite_steps:
+                                abort_exc = NonFiniteLossError(
+                                    f"{bad_streak} consecutive non-finite steps "
+                                    f"at epoch {epoch + 1} (last loss={loss_val}, "
+                                    f"grad_norm={grad_norm}); weights are intact "
+                                    "up to the last finite step — check lr "
+                                    f"({config.lr}) and input features"
+                                )
+                    obs.count("distributed.steps")
+                    if use_mp:
+                        buffer.put_params(_named_arrays(model))
+                        buffer.set_command(CMD_ABORT if abort_exc else CMD_RUN)
+                        barrier.wait(config.barrier_timeout)  # B: params ready
+                    if abort_exc is not None:
+                        raise abort_exc
+            result.losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+            result.epoch_seconds.append(watch.totals["epoch"] - epoch_start)
+            result.epochs_run = epoch + 1
+
+            if eval_indices is not None:
+                with watch.segment("eval"):
+                    epoch_eval: EvalResult = evaluate(
+                        model,
+                        dataset,
+                        eval_indices,
+                        batch_size=config.eval_batch_size,
+                        num_workers=config.num_workers,
+                    )
+                result.eval_auc.append(epoch_eval.auc)
+                result.eval_ap.append(epoch_eval.ap)
+                if (
+                    result.best_epoch is None
+                    or epoch_eval.auc > result.eval_auc[result.best_epoch]
+                ):
+                    result.best_epoch = epoch
+                    if config.restore_best:
+                        best_state = model.state_dict()
+            _update_phase_seconds(result, watch)
+            if checkpoint is not None:
+                snapshot = make_snapshot(epoch + 1)
+                if (epoch + 1) % checkpoint.every == 0 or epoch + 1 == config.epochs:
+                    write_snapshot(snapshot)
+            for cb in cbs:
+                cb.on_epoch_end(epoch, result)
+            stop = bool(
+                config.patience is not None
+                and result.best_epoch is not None
+                and epoch - result.best_epoch >= config.patience
+            )
+            if use_mp:
+                last = stop or epoch + 1 == config.epochs
+                buffer.set_command(CMD_STOP if last else CMD_RUN)
+                barrier.wait(config.barrier_timeout)  # E: epoch verdict
+            if stop:
+                logger.info(
+                    "early stop at epoch %d (best was %d)",
+                    epoch + 1, result.best_epoch + 1,
+                )
+                break
+        if use_mp and not halted:
+            reports = _drain_reports(report_queue, config.num_shards)
+    except (KeyboardInterrupt, NonFiniteLossError):
+        if checkpoint is not None and snapshot is not None and snapshot.epoch > last_written:
+            write_snapshot(snapshot)
+        raise
+    except BrokenBarrierError:
+        # A worker died or a barrier timed out: persist what completed,
+        # surface whatever the workers managed to report.
+        if checkpoint is not None and snapshot is not None and snapshot.epoch > last_written:
+            write_snapshot(snapshot)
+        reports = _drain_reports(report_queue, config.num_shards, timeout=2.0)
+        errors = [r["error"] for r in reports if "error" in r]
+        detail = f": {'; '.join(errors)}" if errors else ""
+        raise RuntimeError(
+            f"distributed training aborted — a shard worker failed or a "
+            f"barrier timed out after {config.barrier_timeout}s{detail}"
+        ) from None
+    finally:
+        if use_mp:
+            if barrier is not None:
+                try:
+                    barrier.abort()
+                except Exception:
+                    pass
+            for w in workers:
+                w.join(timeout=10.0)
+            for w in workers:
+                if w.is_alive():  # pragma: no cover - stuck worker
+                    w.terminate()
+                    w.join(timeout=10.0)
+        buffer.close()
+        if tmp is not None:
+            tmp.cleanup()
+
+    for report in reports:
+        if "error" in report:
+            continue
+        rank = int(report["rank"])
+        shard_grad_seconds[rank] += float(report["grad_seconds"])
+        shard_links[rank] += int(report["links"])
+        shard_steps[rank] += int(report["steps"])
+    if obs.enabled():
+        for rank in range(config.num_shards):
+            obs.count("distributed.shard.links", int(shard_links[rank]))
+            if shard_steps[rank]:
+                obs.observe(
+                    "distributed.shard.step_seconds",
+                    float(shard_grad_seconds[rank] / shard_steps[rank]),
+                )
+
+    if checkpoint is not None and snapshot is not None and snapshot.epoch > last_written:
+        write_snapshot(snapshot)
+    for cb in cbs:
+        cb.on_train_end(result)
+    if config.restore_best and best_state is not None:
+        model.load_state_dict(best_state)
+        logger.info(
+            "restored best epoch %d (auc=%.4f)", result.best_epoch + 1, result.best_auc
+        )
+    return result
+
+
+def _drain_reports(queue, expected: int, *, timeout: float = 30.0) -> List[dict]:
+    """Collect up to ``expected`` worker reports, bounded by ``timeout``."""
+    if queue is None:
+        return []
+    reports: List[dict] = []
+    deadline = time.monotonic() + timeout
+    while len(reports) < expected:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        try:
+            reports.append(queue.get(timeout=remaining))
+        except Exception:
+            break
+    return reports

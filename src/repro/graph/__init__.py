@@ -29,6 +29,7 @@ from repro.graph.subgraph import EnclosingSubgraph, extract_enclosing_subgraph
 from repro.graph.traversal import (
     bfs_distances,
     k_hop_nodes,
+    k_hop_union,
     multi_source_bfs,
     pairwise_distance,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "collate",
     "bfs_distances",
     "k_hop_nodes",
+    "k_hop_union",
     "multi_source_bfs",
     "pairwise_distance",
     "EnclosingSubgraph",

@@ -18,7 +18,13 @@ import numpy as np
 
 from repro.graph.structure import Graph
 
-__all__ = ["bfs_distances", "k_hop_nodes", "pairwise_distance", "multi_source_bfs"]
+__all__ = [
+    "bfs_distances",
+    "k_hop_nodes",
+    "k_hop_union",
+    "pairwise_distance",
+    "multi_source_bfs",
+]
 
 
 def _take_ragged(values: np.ndarray, starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -186,6 +192,39 @@ def k_hop_nodes(graph: Graph, source: int, k: int) -> np.ndarray:
         raise ValueError("k must be non-negative")
     dist = bfs_distances(graph, source, max_depth=k)
     return np.nonzero(dist >= 0)[0]
+
+
+def k_hop_union(graph: Graph, sources: np.ndarray, k: int) -> np.ndarray:
+    """Sorted array of nodes within ``k`` hops of *any* source (inclusive).
+
+    The halo primitive of the graph partitioner: one boolean-visited
+    frontier sweep over the CSR covers every source at once, so the cost
+    is O(edges touched) regardless of how many sources there are —
+    unlike ``S`` separate :func:`k_hop_nodes` calls or a
+    :func:`multi_source_bfs` row matrix (which is O(S·N) memory).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    sources = np.unique(np.asarray(sources, dtype=np.int64))
+    if sources.size == 0:
+        return sources
+    if sources[0] < 0 or sources[-1] >= graph.num_nodes:
+        raise ValueError("source out of range")
+    indptr, indices, _ = graph.csr()
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    visited[sources] = True
+    frontier = sources
+    for _ in range(k):
+        if frontier.size == 0:
+            break
+        nxt = _expand_frontier(indptr, indices, frontier)
+        nxt = nxt[~visited[nxt]]
+        if nxt.size == 0:
+            break
+        nxt = np.unique(nxt)
+        visited[nxt] = True
+        frontier = nxt
+    return np.flatnonzero(visited)
 
 
 def pairwise_distance(graph: Graph, u: int, v: int, max_depth: Optional[int] = None) -> int:

@@ -9,6 +9,7 @@ extraction → training with per-epoch evaluation → inference) under
     python -m repro profile --smoke            # CI-sized, ~seconds
     python -m repro profile --dataset wordnet --scale 0.3 --epochs 4
     python -m repro profile --smoke --workers 2   # parallel extraction
+    python -m repro profile --smoke --shards 4    # sharded data-parallel
     python -m repro profile --smoke --csv out.csv --json out.json
 
 The JSON report's ``phases`` section is the per-leaf breakdown
@@ -34,6 +35,19 @@ graph opens, links extracted off mapped pages, shared-memory ring
 batches/fallbacks/occupancy and whether workers got the graph by path
 or by pickle.
 
+With ``--shards K`` (K >= 2) the training leg runs through
+:func:`repro.distributed.train_data_parallel`: the graph is partitioned
+into K shards and trained data-parallel — with K worker processes when
+the host has >= 2 usable cores, in-process otherwise (numerically
+identical either way) — and the report gains a ``distributed`` section
+(partition cut/halo stats, per-shard step timers, barrier wait times,
+global step count). With real worker processes the forward/backward
+work happens inside the workers, so ``phases`` reflects the parent
+(reduce + optimizer) and the per-shard gradient time shows up as
+``distributed.shard_step_seconds`` instead. The ``cores`` section reports physical vs usable
+CPU cores, and ``warnings`` lists any requested parallelism
+(``--workers`` / ``--shards``) the host cannot actually deliver.
+
 With ``--graph-dir DIR`` the workload runs against a saved on-disk task:
 the first run generates the synthetic dataset and saves it under DIR
 (:func:`repro.store.save_task`), reruns mmap it back instead of
@@ -45,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from typing import Any, Dict, Optional, Sequence
 
@@ -65,6 +80,7 @@ def run_profile(
     hidden_dim: int = 16,
     seed: int = 0,
     num_workers: int = 0,
+    shards: int = 0,
     checkpoint_dir: Optional[str] = None,
     resume: bool = True,
     graph_dir: Optional[str] = None,
@@ -78,9 +94,17 @@ def run_profile(
     With ``graph_dir`` the dataset leg reads a saved task from that
     directory (mmap-backed) when one exists, and otherwise generates the
     synthetic dataset once and saves it there for the next run.
+
+    With ``shards`` >= 2 the training leg runs sharded data-parallel
+    through :func:`repro.distributed.train_data_parallel` — as K worker
+    processes when >= 2 usable cores are available, in-process (same
+    numbers, no speedup) otherwise.
     """
     # Imports are deferred so ``import repro.obs`` stays lightweight.
+    import os
+
     from repro import obs
+    from repro.data.loader import usable_cores
     from repro.datasets import load_dataset
     from repro.store import has_task, load_task, save_task
     from repro.models import AMDGCNN
@@ -100,6 +124,22 @@ def run_profile(
         if checkpoint_dir is not None
         else None
     )
+
+    physical_cores = os.cpu_count() or 1
+    usable = usable_cores()
+    warnings: list = []
+    if num_workers > usable:
+        warnings.append(
+            f"--workers {num_workers} exceeds the {usable} usable core(s) "
+            "on this host; workers will time-slice, not parallelize"
+        )
+    if shards >= 2 and shards > usable:
+        warnings.append(
+            f"--shards {shards} exceeds the {usable} usable core(s) on "
+            "this host; shard training runs in-process (identical "
+            "numbers, no speedup)"
+        )
+    processes = shards if shards >= 2 and usable >= 2 else 0
 
     t_start = time.perf_counter()
     with obs.capture() as registry:
@@ -127,21 +167,42 @@ def run_profile(
             dropout=0.0,
             rng=derive(seed, "init"),
         )
-        train_result = train(
-            model,
-            ds,
-            tr,
-            TrainConfig(
-                epochs=epochs,
-                batch_size=batch_size,
-                lr=3e-3,
-                num_workers=num_workers,
-            ),
-            eval_indices=te,
-            rng=derive(seed, "train"),
-            verbose=False,
-            checkpoint=ckpt,
-        )
+        if shards >= 2:
+            from repro.distributed import DistributedConfig, train_data_parallel
+
+            train_result = train_data_parallel(
+                model,
+                ds,
+                tr,
+                DistributedConfig(
+                    epochs=epochs,
+                    batch_size=batch_size,
+                    lr=3e-3,
+                    num_workers=num_workers,
+                    num_shards=shards,
+                    processes=processes,
+                ),
+                eval_indices=te,
+                rng=derive(seed, "train"),
+                verbose=False,
+                checkpoint=ckpt,
+            )
+        else:
+            train_result = train(
+                model,
+                ds,
+                tr,
+                TrainConfig(
+                    epochs=epochs,
+                    batch_size=batch_size,
+                    lr=3e-3,
+                    num_workers=num_workers,
+                ),
+                eval_indices=te,
+                rng=derive(seed, "train"),
+                verbose=False,
+                checkpoint=ckpt,
+            )
         eval_result = evaluate(model, ds, te, num_workers=num_workers)
         # A taste of the deployment path: bundle the trained model and
         # serve a few coalesced requests through the scoring server.
@@ -261,6 +322,34 @@ def run_profile(
             "pickled": counters.get("data.loader.payload_pickled", 0.0),
         },
     }
+    barrier_hist = registry.histograms.get("distributed.barrier_wait_seconds")
+    shard_step_hist = registry.histograms.get("distributed.shard.step_seconds")
+    distributed_report = {
+        "enabled": shards >= 2,
+        "num_shards": shards,
+        "processes": processes,
+        "partition": {
+            "cut_edges": counters.get("distributed.partition.cut_edges", 0.0),
+            "halo_nodes": counters.get("distributed.partition.halo_nodes", 0.0),
+            "owned_links": counters.get("distributed.partition.owned_links", 0.0),
+            "replication_factor": registry.gauges.get(
+                "distributed.partition.replication_factor", 0.0
+            ),
+        },
+        "steps": counters.get("distributed.steps", 0.0),
+        "shard_links": counters.get("distributed.shard.links", 0.0),
+        "barrier_wait_seconds": {
+            "total": barrier_hist.total if barrier_hist else 0.0,
+            "mean": barrier_hist.mean if barrier_hist else 0.0,
+            "max": barrier_hist.max if barrier_hist else 0.0,
+            "count": barrier_hist.count if barrier_hist else 0,
+        },
+        "shard_step_seconds": {
+            "mean": shard_step_hist.mean if shard_step_hist else 0.0,
+            "max": shard_step_hist.max if shard_step_hist else 0.0,
+            "count": shard_step_hist.count if shard_step_hist else 0,
+        },
+    }
     write_hist = registry.histograms.get("checkpoint.write_seconds")
     checkpoint_report = {
         "enabled": ckpt is not None,
@@ -285,10 +374,13 @@ def run_profile(
             "batch_size": batch_size,
             "seed": seed,
             "num_workers": num_workers,
+            "shards": shards,
             "num_links": int(task.num_links),
             "num_nodes": int(task.graph.num_nodes),
             "graph_dir": graph_dir,
         },
+        "cores": {"physical": physical_cores, "usable": usable},
+        "warnings": warnings,
         "total_s": time.perf_counter() - t_start,
         "phases": {
             name: {"seconds": leaf_totals[name], "calls": leaf_counts.get(name, 0)}
@@ -309,6 +401,7 @@ def run_profile(
         "extraction": extraction_report,
         "serve": serve_report,
         "store": store_report,
+        "distributed": distributed_report,
         "checkpoint": checkpoint_report,
         "counters": counters,
         "snapshot": registry.snapshot(),
@@ -332,6 +425,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=int,
         default=0,
         help="extraction worker processes (0 = serial; results are identical)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="train data-parallel over K graph shards (K >= 2; K worker "
+        "processes on multi-core hosts, in-process otherwise — results "
+        "are identical either way)",
     )
     parser.add_argument(
         "--smoke",
@@ -370,6 +471,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         batch_size=args.batch_size,
         seed=args.seed,
         num_workers=args.workers,
+        shards=args.shards,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         graph_dir=args.graph_dir,
@@ -378,6 +480,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         kwargs.update(scale=0.12, num_targets=40, epochs=1, batch_size=8)
 
     report = run_profile(**kwargs)
+
+    for warning in report["warnings"]:
+        print(f"repro profile: WARNING — {warning}", file=sys.stderr)
 
     if args.csv:
         from repro.obs.export import write_csv

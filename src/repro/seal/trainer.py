@@ -168,6 +168,45 @@ def _training_generators(model: Module, sampler, shuffle_rng) -> Dict[str, objec
     return gens
 
 
+def _resume_from_checkpoint(
+    checkpoint: Optional[CheckpointConfig],
+    model: Module,
+    optimizer: Adam,
+    gens: Dict[str, object],
+    total_epochs: int,
+) -> Optional[Checkpoint]:
+    """Restore the newest bundle under ``checkpoint.dir``, if any.
+
+    Loads model weights, name-keyed optimizer state and every registered
+    RNG stream in place, then returns the loaded :class:`Checkpoint` so
+    the caller can pick up its result/best-state bookkeeping. Returns
+    ``None`` when resuming is off or no bundle exists. Shared by
+    :func:`train` and the data-parallel trainer
+    (:func:`repro.distributed.train_data_parallel`), which resume
+    through the same bundle format.
+    """
+    if checkpoint is None or not checkpoint.resume:
+        return None
+    latest = latest_checkpoint(checkpoint.dir)
+    if latest is None:
+        return None
+    ck = load_checkpoint(latest)
+    model.load_state_dict(ck.model_state)
+    optimizer.load_state_dict(ck.optimizer_state)
+    for key, state in ck.rng_states.items():
+        gen = gens.get(key)
+        if gen is not None:
+            restore_generator_state(gen, state)
+    obs.count("checkpoint.resumes")
+    if obs.enabled():
+        obs.get_registry().gauge("checkpoint.resumed_from_epoch", ck.epoch)
+    logger.info(
+        "resumed from %s: %d/%d epochs already complete",
+        latest.name, ck.epoch, total_epochs,
+    )
+    return ck
+
+
 def _snapshot(
     epoch: int,
     model: Module,
@@ -279,29 +318,14 @@ def train(
     last_written = 0
     snapshot: Optional[Checkpoint] = None
 
-    if checkpoint is not None and checkpoint.resume:
-        latest = latest_checkpoint(checkpoint.dir)
-        if latest is not None:
-            ck = load_checkpoint(latest)
-            model.load_state_dict(ck.model_state)
-            optimizer.load_state_dict(ck.optimizer_state)
-            for key, state in ck.rng_states.items():
-                gen = gens.get(key)
-                if gen is not None:
-                    restore_generator_state(gen, state)
-            result = ck.result
-            result.resumed_from_epoch = ck.epoch
-            best_state = ck.best_state
-            start_epoch = ck.epoch
-            last_written = ck.epoch
-            snapshot = ck
-            obs.count("checkpoint.resumes")
-            if obs.enabled():
-                obs.get_registry().gauge("checkpoint.resumed_from_epoch", ck.epoch)
-            logger.info(
-                "resumed from %s: %d/%d epochs already complete",
-                latest.name, ck.epoch, config.epochs,
-            )
+    ck = _resume_from_checkpoint(checkpoint, model, optimizer, gens, config.epochs)
+    if ck is not None:
+        result = ck.result
+        result.resumed_from_epoch = ck.epoch
+        best_state = ck.best_state
+        start_epoch = ck.epoch
+        last_written = ck.epoch
+        snapshot = ck
 
     model.train()
 

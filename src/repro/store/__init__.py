@@ -9,18 +9,27 @@ The storage layer under the data pipeline:
 * :class:`SampleRing` — a slotted ``multiprocessing.shared_memory``
   ring the parallel :class:`~repro.data.DataLoader` uses to move packed
   subgraph batches from workers to the parent without serialization.
+* :class:`ParameterBuffer` — the fixed-layout shared-memory
+  weights/gradients exchange the data-parallel trainer
+  (:mod:`repro.distributed`) reduces through, with a strict-rank-order
+  sum that keeps K-process training bit-identical to one process.
 * :func:`save_task` / :func:`load_task` — persist a whole
   :class:`~repro.seal.LinkTask` (graph + pairs + labels + recipe) as a
   directory workloads can be re-run against (``profile --graph-dir``).
 """
 
 from repro.store.graph_storage import STORAGE_VERSION, GraphStorage
+from repro.store.parambuf import CMD_ABORT, CMD_RUN, CMD_STOP, ParameterBuffer
 from repro.store.ring import SampleRing
 from repro.store.task_io import TASK_FILE, has_task, load_task, save_task
 
 __all__ = [
     "STORAGE_VERSION",
     "GraphStorage",
+    "ParameterBuffer",
+    "CMD_RUN",
+    "CMD_STOP",
+    "CMD_ABORT",
     "SampleRing",
     "TASK_FILE",
     "has_task",

@@ -1,0 +1,94 @@
+"""Shared fixtures + safety rails for the distributed test suite.
+
+Every test marked ``distributed`` (the multi-process ones) runs under a
+SIGALRM watchdog — a wedged barrier turns into a loud ``TimeoutError``
+instead of hanging tier-1, the same philosophy as the DataLoader's
+hung-worker timeout — and is skipped with a reason on single-core
+hosts, where K timesharing processes measure nothing real. Set
+``REPRO_DISTRIBUTED_FORCE=1`` to run them anyway (bit-identity does not
+need real parallelism).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.data.loader import usable_cores
+from repro.datasets import load_primekg_like
+from repro.models import AMDGCNN
+from repro.seal.dataset import SEALDataset, train_test_split_indices
+
+#: hard per-test wall-clock bound for distributed-marked tests
+DISTRIBUTED_TEST_TIMEOUT_S = 120
+
+needs_multicore = pytest.mark.skipif(
+    usable_cores() < 2 and not os.environ.get("REPRO_DISTRIBUTED_FORCE"),
+    reason=(
+        f"multi-process training tests need >= 2 usable cores "
+        f"(this host has {usable_cores()}); set REPRO_DISTRIBUTED_FORCE=1 "
+        "to run them timeshared"
+    ),
+)
+
+
+@pytest.fixture(autouse=True)
+def _distributed_watchdog(request):
+    """SIGALRM per-test timeout for ``distributed``-marked tests."""
+    if request.node.get_closest_marker("distributed") is None:
+        yield
+        return
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise TimeoutError(
+            f"distributed test exceeded {DISTRIBUTED_TEST_TIMEOUT_S}s — "
+            "a worker barrier is likely wedged"
+        )
+
+    old = signal.signal(signal.SIGALRM, _alarm)
+    signal.alarm(DISTRIBUTED_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
+
+
+@pytest.fixture(scope="module")
+def task():
+    return load_primekg_like(scale=0.12, num_targets=40, rng=0)
+
+
+@pytest.fixture(scope="module")
+def split(task):
+    return train_test_split_indices(task.num_links, 0.3, rng=1)
+
+
+@pytest.fixture()
+def dataset(task):
+    return SEALDataset(task, rng=0)
+
+
+def make_model(task, *, dropout: float = 0.0):
+    return AMDGCNN(
+        task.feature_config.width,
+        task.num_classes,
+        edge_dim=task.edge_attr_dim,
+        heads=2,
+        hidden_dim=16,
+        num_conv_layers=2,
+        sort_k=10,
+        dropout=dropout,
+        rng=1,
+    )
+
+
+def assert_same_weights(a, b):
+    for (name, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data, err_msg=name)

@@ -51,6 +51,57 @@ class TestRunProfile:
         assert st["graph_dir"] is None
         assert st["graph_saves"] == 0.0 and st["mmap_opens"] == 0.0
 
+    def test_cores_reported(self, smoke_report):
+        cores = smoke_report["cores"]
+        assert cores["physical"] >= 1
+        assert 1 <= cores["usable"] <= cores["physical"]
+
+    def test_distributed_section_disabled_by_default(self, smoke_report):
+        d = smoke_report["distributed"]
+        assert d["enabled"] is False
+        assert d["steps"] == 0.0
+        assert smoke_report["warnings"] == []
+
+
+class TestProfileShards:
+    def test_shards_run_populates_distributed_section(self):
+        from repro.data.loader import usable_cores
+
+        report = run_profile(
+            scale=0.12, num_targets=40, epochs=1, batch_size=8, shards=2
+        )
+        d = report["distributed"]
+        assert d["enabled"] is True
+        assert d["num_shards"] == 2
+        assert d["steps"] >= 1.0
+        assert d["partition"]["owned_links"] == report["workload"]["num_links"]
+        assert d["partition"]["replication_factor"] >= 1.0
+        assert d["shard_step_seconds"]["count"] >= 1
+        if usable_cores() >= 2:
+            assert d["processes"] == 2
+        else:
+            # Degraded in-process: same numbers, and the report says why.
+            assert d["processes"] == 0
+            assert any("--shards" in w for w in report["warnings"])
+        if d["processes"] == 0:
+            # In-process sharding keeps the whole per-phase breakdown;
+            # with real worker processes the forward/backward work lives
+            # in the workers and is reported via shard_step_seconds.
+            for phase in CORE_PHASES:
+                assert phase in report["phases"], phase
+
+    def test_worker_overcommit_warns(self):
+        from repro.data.loader import usable_cores
+
+        report = run_profile(
+            scale=0.12,
+            num_targets=40,
+            epochs=1,
+            batch_size=8,
+            num_workers=usable_cores() + 1,
+        )
+        assert any("--workers" in w for w in report["warnings"])
+
 
 class TestProfileGraphDir:
     def test_first_run_saves_second_run_mmaps(self, tmp_path):
