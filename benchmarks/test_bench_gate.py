@@ -236,3 +236,45 @@ def test_distributed_gate_skips_single_core_hosts(tmp_path):
     out = io.StringIO()
     assert check_bench.check_distributed(lone, min_speedup=1.5, out=out) == 0
     assert "skipped" in out.getvalue()
+
+
+DTYPE_RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_dtype.json"
+
+
+@pytest.mark.bench_gate
+def test_float32_speedup_has_not_regressed():
+    if not DTYPE_RESULTS.exists():
+        pytest.skip("no BENCH_dtype.json yet — run the dtype microbenchmark")
+    out = io.StringIO()
+    status = check_bench.check_dtype(DTYPE_RESULTS, min_speedup=1.4, out=out)
+    print(out.getvalue())
+    assert status == 0, out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_dtype_gate_judges_each_group_separately(tmp_path):
+    """A big layer win must not rescue a net-slower epoch."""
+    bad = tmp_path / "BENCH_dtype.json"
+    bad.write_text(
+        '[{"benchmark": "dtype", "unix_time": 0, "records": ['
+        '{"kernel": "gat_fwd_bwd", "N": 2000, "speedup": 3.0},'
+        '{"kernel": "train_epoch", "train_links": 168, "speedup": 1.1}'
+        "]}]"
+    )
+    out = io.StringIO()
+    assert check_bench.check_dtype(bad, min_speedup=1.4, out=out) == 1
+    assert "train_epoch" in out.getvalue() and "FAIL" in out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_dtype_gate_fails_on_missing_group(tmp_path):
+    """A run that recorded only one group is broken history, not a pass."""
+    partial = tmp_path / "BENCH_dtype.json"
+    partial.write_text(
+        '[{"benchmark": "dtype", "unix_time": 0, "records": ['
+        '{"kernel": "gat_fwd_bwd", "N": 2000, "speedup": 1.8}'
+        "]}]"
+    )
+    out = io.StringIO()
+    assert check_bench.check_dtype(partial, min_speedup=1.4, out=out) == 1
+    assert "no usable train_epoch" in out.getvalue()

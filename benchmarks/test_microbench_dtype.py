@@ -1,0 +1,154 @@
+"""Mixed-precision microbenchmarks: float32 vs the float64 default.
+
+Two measurements, both on a single core (the regime this repo targets):
+
+* ``gat_fwd_bwd`` — one GATConv forward + backward (the per-step hot
+  loop: attention matmuls, segment softmax, scatter-adds) at float64 vs
+  the same graph/weights cast to float32 under the compute-dtype
+  policy. Halving the bytes through the memory-bound kernels is where
+  the win comes from.
+* ``train_epoch`` — one full SEAL training epoch (collation, forwards,
+  backwards, Adam with float64 masters) under ``TrainConfig
+  (compute_dtype="float32")`` vs the float64 default. This is the
+  number a user actually feels.
+
+Each record stores ``baseline_s`` (float64), ``reduced_s`` (float32)
+and their ratio as ``speedup``. Appends every run to
+``results/BENCH_dtype.json`` — the history
+``scripts/check_bench.py --suite dtype`` gates on (>= 1.4x geomean on
+*each* kernel group).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.data import warm
+from repro.datasets import load_primekg_like
+from repro.models import AMDGCNN
+from repro.models.layers import GATConv
+from repro.nn import dtype as dtp
+from repro.nn.losses import cross_entropy
+from repro.nn.tensor import Tensor
+from repro.seal import SEALDataset, TrainConfig, train, train_test_split_indices
+
+from bench_utils import append_run
+
+RESULTS = Path(__file__).resolve().parent.parent / "results" / "BENCH_dtype.json"
+
+# (num_nodes, num_edges, feature_dim, hidden, heads) — sized so the
+# attention path is memory-bound and a run stays in tens of ms.
+GAT_SIZES = [
+    (2_000, 12_000, 64, 64, 4),
+    (5_000, 30_000, 96, 96, 4),
+]
+
+
+def best_of(fn: Callable[[], object], repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def geomean(values: List[float]) -> float:
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def bench_gat(records: List[Dict]) -> None:
+    for n, e, fdim, hidden, heads in GAT_SIZES:
+        rng = np.random.default_rng(0)
+        x64 = rng.normal(size=(n, fdim))
+        ei = rng.integers(0, n, size=(2, e))
+        ea64 = rng.normal(size=(e, 16))
+        labels = rng.integers(0, 3, size=n)
+
+        def step(layer, x, ea, spec):
+            with dtp.compute_dtype(spec):
+                loss = cross_entropy(layer(Tensor(x), ei, edge_attr=ea), labels)
+                loss.backward()
+            return float(loss.data)
+
+        layer64 = GATConv(fdim, hidden, heads=heads, edge_dim=16, rng=1)
+        layer32 = dtp.cast_module(
+            GATConv(fdim, hidden, heads=heads, edge_dim=16, rng=1), "float32"
+        )
+        x32, ea32 = x64.astype(np.float32), ea64.astype(np.float32)
+
+        # Numeric sanity before timing: same loss to float32 slack.
+        l64 = step(layer64, x64, ea64, "float64")
+        l32 = step(layer32, x32, ea32, "float32")
+        np.testing.assert_allclose(l32, l64, rtol=1e-4)
+
+        t64 = best_of(lambda: step(layer64, x64, ea64, "float64"))
+        t32 = best_of(lambda: step(layer32, x32, ea32, "float32"))
+        records.append(
+            {
+                "kernel": "gat_fwd_bwd",
+                "N": n,
+                "E": e,
+                "feature_dim": fdim,
+                "hidden": hidden,
+                "heads": heads,
+                "baseline_s": round(t64, 6),
+                "reduced_s": round(t32, 6),
+                "speedup": round(t64 / t32, 3),
+            }
+        )
+
+
+def bench_epoch(records: List[Dict]) -> None:
+    task = load_primekg_like(scale=0.4, num_targets=240, rng=0)
+    ds = SEALDataset(task, rng=0)
+    tr, _ = train_test_split_indices(task.num_links, 0.3, labels=task.labels, rng=0)
+    warm(ds)  # extraction paid once — the benchmark times compute, not I/O
+
+    def epoch(spec: str) -> None:
+        model = AMDGCNN(
+            ds.feature_width, task.num_classes, edge_dim=task.edge_attr_dim,
+            heads=4, hidden_dim=64, num_conv_layers=3, sort_k=10, rng=1,
+        )
+        config = TrainConfig(epochs=1, batch_size=32, lr=1e-3, compute_dtype=spec)
+        train(model, ds, tr, config, rng=0, verbose=False)
+
+    t64 = best_of(lambda: epoch("float64"), repeats=3)
+    t32 = best_of(lambda: epoch("float32"), repeats=3)
+    records.append(
+        {
+            "kernel": "train_epoch",
+            "train_links": int(len(tr)),
+            "batch_size": 32,
+            "hidden": 64,
+            "baseline_s": round(t64, 6),
+            "reduced_s": round(t32, 6),
+            "speedup": round(t64 / t32, 3),
+        }
+    )
+
+
+def test_float32_beats_float64_on_the_hot_path():
+    records: List[Dict] = []
+    bench_gat(records)
+    bench_epoch(records)
+
+    append_run(RESULTS, records, benchmark="dtype")
+
+    for r in records:
+        size = f"N={r['N']:>5} E={r['E']:>6}" if "N" in r else f"links={r['train_links']}"
+        print(
+            f"\n{r['kernel']} {size}: fp64 {r['baseline_s'] * 1e3:7.1f} ms, "
+            f"fp32 {r['reduced_s'] * 1e3:7.1f} ms  ({r['speedup']:.2f}x)"
+        )
+
+    # Acceptance: the reduced-precision path must clearly beat float64
+    # on both the layer hot loop and the end-to-end epoch.
+    gat = [r["speedup"] for r in records if r["kernel"] == "gat_fwd_bwd"]
+    assert geomean(gat) >= 1.4, f"GATConv fwd+bwd speedups too low: {gat}"
+    ep = [r["speedup"] for r in records if r["kernel"] == "train_epoch"]
+    assert geomean(ep) >= 1.4, f"epoch speedups too low: {ep}"

@@ -27,6 +27,13 @@ Two suites, each judging the latest run of its history file:
   single-core-recorded ``parallel_loader`` record is stale data from
   before that policy and fails the gate until the history is
   refreshed.
+* ``dtype`` — ``results/BENCH_dtype.json`` (appended by
+  ``benchmarks/test_microbench_dtype.py``): the float32 compute-dtype
+  policy must beat the float64 default by >= the threshold (default
+  1.4x geomean) on *each* judged group separately — ``gat_fwd_bwd``
+  (the GATConv forward+backward hot loop) and ``train_epoch`` (one
+  full SEAL epoch). Judging groups separately stops a huge layer win
+  from hiding an end-to-end regression.
 * ``distributed`` — ``results/BENCH_distributed.json`` (appended by
   ``benchmarks/test_microbench_distributed.py``): the
   ``data_parallel_epoch`` throughput speedup (K-process sharded
@@ -39,9 +46,9 @@ when they *record* a run; the gate only guards against net regressions.
 
 Usage:
     python scripts/check_bench.py
-        [--suite kernels|extraction|serve|scale|distributed|all]
+        [--suite kernels|extraction|serve|scale|distributed|dtype|all]
         [--results PATH] [--min-geomean 1.0] [--min-edges 10000]
-        [--min-speedup 1.5]
+        [--min-speedup 1.5] [--min-dtype-speedup 1.4]
 
 Wired into pytest as the opt-in ``bench_gate`` marker
 (``benchmarks/test_bench_gate.py``); tier-1 never touches it.
@@ -61,6 +68,10 @@ DEFAULT_EXTRACTION_RESULTS = _RESULTS_DIR / "BENCH_extraction.json"
 DEFAULT_SERVE_RESULTS = _RESULTS_DIR / "BENCH_serve.json"
 DEFAULT_SCALE_RESULTS = _RESULTS_DIR / "BENCH_scale.json"
 DEFAULT_DISTRIBUTED_RESULTS = _RESULTS_DIR / "BENCH_distributed.json"
+DEFAULT_DTYPE_RESULTS = _RESULTS_DIR / "BENCH_dtype.json"
+
+#: Kernel groups the dtype gate judges — each must clear the floor alone.
+DTYPE_GATE_KERNELS = ("gat_fwd_bwd", "train_epoch")
 
 
 def geomean(values):
@@ -317,11 +328,72 @@ def check_serve(results_path, *, min_geomean=1.0, out=sys.stdout):
     )
 
 
+def check_dtype(results_path, *, min_speedup=1.4, out=sys.stdout):
+    """Dtype gate: float32 over float64, per kernel group.
+
+    Unlike the geomean-over-everything gates, each group in
+    :data:`DTYPE_GATE_KERNELS` is judged on its own — the layer hot
+    loop speeding up 3x must not excuse a net-slower epoch. Returns 0
+    on pass, 1 on fail (or data missing).
+    """
+    path = Path(results_path)
+    if not path.exists():
+        print(f"check_bench: {path} not found — run the dtype "
+              "microbenchmark first", file=out)
+        return 1
+    try:
+        history = json.loads(path.read_text())
+        if not history:
+            raise ValueError("benchmark history is empty")
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"check_bench: unusable benchmark data: {exc}", file=out)
+        return 1
+    latest = history[-1]
+    stamp = latest.get("unix_time", "?")
+    status = 0
+    for kernel in DTYPE_GATE_KERNELS:
+        records = [r for r in latest.get("records", []) if r.get("kernel") == kernel]
+        speedups, skipped = _usable_speedups(records)
+        if not speedups:
+            print(
+                f"check_bench: FAIL — run@{stamp} has no usable {kernel} "
+                f"records ({skipped} null-speedup records skipped); rerun "
+                "the dtype microbenchmark", file=out,
+            )
+            status = 1
+            continue
+        gm = geomean(speedups)
+        print(
+            f"check_bench: run@{stamp}: geomean float32 {kernel} speedup "
+            f"{gm:.2f}x over {len(speedups)} records {sorted(speedups)}",
+            file=out,
+        )
+        if skipped:
+            print(
+                f"check_bench: WARNING — skipped {skipped} {kernel} record(s) "
+                "with null (non-finite) speedup; rerun the microbenchmark",
+                file=out,
+            )
+        if gm < min_speedup:
+            print(
+                f"check_bench: FAIL — geomean {gm:.2f}x below the "
+                f"{min_speedup:.2f}x floor: the float32 {kernel} win regressed",
+                file=out,
+            )
+            status = 1
+    if status == 0:
+        print("check_bench: OK", file=out)
+    return status
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("kernels", "extraction", "serve", "scale", "distributed", "all"),
+        choices=(
+            "kernels", "extraction", "serve", "scale", "distributed",
+            "dtype", "all",
+        ),
         default="kernels",
     )
     parser.add_argument("--results", default=None, help="history file override")
@@ -331,6 +403,11 @@ def main(argv=None):
         "--min-speedup", type=float, default=1.5,
         help="distributed suite: floor on the K-process epoch-throughput "
              "speedup (acceptance bar is 1.5x at K=4)",
+    )
+    parser.add_argument(
+        "--min-dtype-speedup", type=float, default=1.4,
+        help="dtype suite: floor on the float32-over-float64 geomean, "
+             "enforced per kernel group (gat_fwd_bwd and train_epoch)",
     )
     args = parser.parse_args(argv)
 
@@ -364,6 +441,12 @@ def main(argv=None):
             args.results if args.suite == "distributed" and args.results
             else DEFAULT_DISTRIBUTED_RESULTS,
             min_speedup=args.min_speedup,
+        )
+    if args.suite in ("dtype", "all"):
+        status |= check_dtype(
+            args.results if args.suite == "dtype" and args.results
+            else DEFAULT_DTYPE_RESULTS,
+            min_speedup=args.min_dtype_speedup,
         )
     return status
 

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Lint: no ``np.float64`` literals outside the sanctioned modules.
+
+The compute-dtype policy (:mod:`repro.nn.dtype`) only works if code does
+not hard-pin float64 behind its back. Modules that *deliberately* run in
+full precision (metrics, GP tuning, degree statistics, ...) spell that
+with the ``FLOAT64`` alias from ``repro.nn.dtype`` — an explicit,
+greppable declaration — while compute-path code asks
+``get_compute_dtype()``. A bare ``np.float64`` literal is therefore
+always a policy leak, except inside the sanctioned core:
+
+* ``nn/tensor.py``   — defines the coercion rules themselves
+* ``nn/optim.py``    — float64 master weights are the point
+* ``nn/dtype.py``    — defines the aliases
+* ``store/parambuf.py`` — the shared gradient buffer is pinned float64
+                          so shard reduction stays deterministic
+
+Run directly (``python scripts/check_dtype_policy.py``) or through the
+tier-1 suite (``tests/nn/test_dtype_policy_lint.py`` collects it).
+Exit status 0 = clean, 1 = violations (one ``path:line`` per line).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Modules (relative to ``src/repro``) allowed to spell ``np.float64``.
+SANCTIONED = frozenset(
+    {
+        "nn/tensor.py",
+        "nn/optim.py",
+        "nn/dtype.py",
+        "store/parambuf.py",
+    }
+)
+
+#: Any textual use of the float64 scalar type: ``np.float64``,
+#: ``numpy.float64``, ``astype(np.float64)``, ``dtype=np.float64``, ...
+_PATTERN = re.compile(r"\b(?:np|numpy)\.float64\b")
+
+
+def find_violations(src_root: Path = SRC_ROOT) -> list:
+    """``(relative_path, line_number, line_text)`` for every leak."""
+    violations = []
+    for path in sorted(src_root.rglob("*.py")):
+        rel = path.relative_to(src_root).as_posix()
+        if rel in SANCTIONED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if _PATTERN.search(line):
+                violations.append((rel, lineno, line.strip()))
+    return violations
+
+
+def main() -> int:
+    violations = find_violations()
+    if not violations:
+        print(f"dtype policy clean: no np.float64 literals outside {sorted(SANCTIONED)}")
+        return 0
+    print(
+        f"{len(violations)} np.float64 literal(s) outside the sanctioned modules "
+        "(use repro.nn.dtype.get_compute_dtype() for compute paths, or the "
+        "FLOAT64 alias to pin full precision deliberately):",
+        file=sys.stderr,
+    )
+    for rel, lineno, text in violations:
+        print(f"  src/repro/{rel}:{lineno}: {text}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -148,8 +148,8 @@ def collate_from_store(
         node_off = np.concatenate([[0], np.cumsum(n_counts)[:-1]])
 
         edge_index = np.empty((2, e_total), dtype=np.int64)
-        node_features = np.empty((n_total, store.feature_dim), dtype=np.float64)
-        edge_attr = np.zeros((e_total, edge_attr_dim), dtype=np.float64)
+        node_features = np.empty((n_total, store.feature_dim), dtype=store.float_dtype)
+        edge_attr = np.zeros((e_total, edge_attr_dim), dtype=store.float_dtype)
         batch = np.repeat(np.arange(len(indices), dtype=np.int64), n_counts)
 
         copy_attr = bool(edge_attr_dim and store.edge_attr is not None)

@@ -20,6 +20,8 @@ from typing import Iterator, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 from repro.utils.rng import RngLike, ensure_rng
 
 __all__ = [
@@ -191,7 +193,7 @@ class StratifiedBatchSampler:
 
     def __iter__(self) -> Iterator[np.ndarray]:
         n = len(self.indices)
-        keys = np.empty(n, dtype=np.float64)
+        keys = np.empty(n, dtype=FLOAT64)
         order = np.empty(n, dtype=np.int64)
         pos = 0
         for c in np.unique(self.labels):

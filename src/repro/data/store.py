@@ -23,6 +23,8 @@ from typing import TYPE_CHECKING, NamedTuple, Optional, Sequence
 
 import numpy as np
 
+from repro.nn.dtype import get_compute_dtype, resolve_dtype
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph -> nn)
     from repro.nn.kernels import PlanCache
 
@@ -72,6 +74,10 @@ class SubgraphStore:
         none; zero-fill happens at collate time, not here).
     node_feature_dim: width of explicit node features carried by the
         source graph (0 = none).
+    float_dtype: dtype of the float-valued buffers (features, explicit
+        node features, edge attributes). Defaults to the active compute
+        dtype, so a float32 policy halves the store's float footprint —
+        ``cache_info().nbytes`` reports the actual per-array sizes.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class SubgraphStore:
         *,
         edge_attr_dim: int = 0,
         node_feature_dim: int = 0,
+        float_dtype=None,
     ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
@@ -90,6 +97,9 @@ class SubgraphStore:
         self.feature_dim = int(feature_dim)
         self.edge_attr_dim = int(edge_attr_dim)
         self.node_feature_dim = int(node_feature_dim)
+        self.float_dtype = np.dtype(
+            resolve_dtype(float_dtype) if float_dtype is not None else get_compute_dtype()
+        )
         # Batch-composition -> PlanCache memo. The store is append-only
         # (put() never mutates an existing entry), so a batch collated
         # from the same link indices is array-identical across epochs and
@@ -107,17 +117,17 @@ class SubgraphStore:
         self.edge_start = np.full(cap, -1, dtype=np.int64)
         self.edge_count = np.zeros(cap, dtype=np.int64)
         n0, e0 = 256, 512
-        self.features = np.empty((n0, self.feature_dim), dtype=np.float64)
+        self.features = np.empty((n0, self.feature_dim), dtype=self.float_dtype)
         self.node_type = np.empty(n0, dtype=np.int64)
         self.node_features = (
-            np.empty((n0, self.node_feature_dim), dtype=np.float64)
+            np.empty((n0, self.node_feature_dim), dtype=self.float_dtype)
             if self.node_feature_dim
             else None
         )
         self.edge_index = np.empty((2, e0), dtype=np.int64)
         self.edge_type = np.empty(e0, dtype=np.int64)
         self.edge_attr = (
-            np.empty((e0, self.edge_attr_dim), dtype=np.float64)
+            np.empty((e0, self.edge_attr_dim), dtype=self.float_dtype)
             if self.edge_attr_dim
             else None
         )

@@ -36,6 +36,8 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 from repro.graph.structure import Graph
 from repro.utils.rng import RngLike, as_generator, derive
 
@@ -208,7 +210,7 @@ def _sample_background_edges(
     n_assort = int(m_total * cfg.assortativity)
     if n_assort > 0:
         # Same-role pairs: pick a role weighted by group size, two members.
-        weights = np.array([max(len(b), 0) for b in by_role], dtype=np.float64)
+        weights = np.array([max(len(b), 0) for b in by_role], dtype=FLOAT64)
         weights = np.where(weights >= 2, weights, 0.0)
         if weights.sum() > 0:
             weights /= weights.sum()

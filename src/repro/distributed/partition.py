@@ -40,6 +40,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 import repro.obs as obs
 from repro.graph.structure import Graph
 from repro.graph.traversal import k_hop_union
@@ -121,7 +123,7 @@ def greedy_node_owners(
         nbrs = indices[indptr[v] : indptr[v + 1]]
         placed = owner[nbrs]
         placed = placed[placed >= 0]
-        gain = np.bincount(placed, minlength=num_shards).astype(np.float64)
+        gain = np.bincount(placed, minlength=num_shards).astype(FLOAT64)
         gain[loads >= capacity] = -np.inf
         # Prefer neighbor affinity, then light load, then low index.
         best = np.lexsort((np.arange(num_shards), loads, -gain))[0]

@@ -63,6 +63,7 @@ from repro.seal.checkpoint import (
 from repro.seal.dataset import SEALDataset
 from repro.seal.evaluator import EvalResult, evaluate
 from repro.seal.results import TrainResult
+from repro.nn.dtype import FLOAT64, cast_module, compute_dtype, resolve_dtype, set_compute_dtype
 from repro.seal.trainer import (
     NonFiniteLossError,
     TrainConfig,
@@ -166,6 +167,10 @@ def _worker_main(
     barrier A → barrier B → read command + fresh params.
     """
     buffer = ParameterBuffer.attach(buffer_meta)
+    # The dtype policy is thread-local state and does not survive the
+    # spawn — re-activate it so the replica's tape matches the parent's.
+    # The shared ParameterBuffer itself stays float64 regardless.
+    set_compute_dtype(resolve_dtype(config.compute_dtype))
     grad_seconds = 0.0
     barrier_seconds = 0.0
     links = 0
@@ -271,6 +276,13 @@ def train_data_parallel(
     eval cadence, early stopping, checkpointing) with the gradient work
     sharded. See the module docstring for the bit-identity contract.
 
+    ``config.compute_dtype`` behaves as in :func:`repro.seal.train`:
+    replicas run their tapes under the policy (workers re-activate it
+    after the spawn), while gradient reduction through the shared
+    :class:`~repro.store.parambuf.ParameterBuffer` stays float64, so the
+    summed-slab float sequence — and therefore shard determinism — is
+    unchanged by the policy.
+
     Parameters beyond :func:`repro.seal.train`'s:
 
     partition: a prebuilt :class:`GraphPartition` of ``dataset.task``;
@@ -279,6 +291,38 @@ def train_data_parallel(
         temporary directory first so workers open their shard graphs
         zero-copy.
     """
+    policy = resolve_dtype(config.compute_dtype)
+    if policy != FLOAT64:
+        cast_module(model, policy)
+    with compute_dtype(policy):
+        return _train_data_parallel_impl(
+            model,
+            dataset,
+            train_indices,
+            config,
+            partition=partition,
+            eval_indices=eval_indices,
+            rng=rng,
+            callbacks=callbacks,
+            verbose=verbose,
+            checkpoint=checkpoint,
+        )
+
+
+def _train_data_parallel_impl(
+    model: Module,
+    dataset: SEALDataset,
+    train_indices: Sequence[int],
+    config: DistributedConfig,
+    *,
+    partition: Optional[GraphPartition],
+    eval_indices: Optional[Sequence[int]],
+    rng: RngLike,
+    callbacks: Optional[Iterable[TrainingLogger]],
+    verbose: Union[bool, None],
+    checkpoint: Optional[CheckpointConfig],
+) -> TrainResult:
+    """Data-parallel loop body; runs under the already-active policy."""
     if config.epochs <= 0:
         raise ValueError("epochs must be positive")
     if config.max_nonfinite_steps < 1:
@@ -366,6 +410,9 @@ def train_data_parallel(
         start_epoch = ck.epoch
         last_written = ck.epoch
         snapshot = ck
+        # Restore reduced working copies from the lossless float64
+        # masters carried in the optimizer state (see seal.trainer).
+        optimizer.sync_master_params()
 
     # Resuming a run that had already early-stopped: nothing left to do
     # (checked before spawning workers so none sit at a barrier forever).

@@ -17,6 +17,8 @@ from typing import List
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 from repro.graph.structure import Graph
 from repro.utils.rng import RngLike, as_generator
 
@@ -61,7 +63,7 @@ def generate_walks(
                 else:
                     prev = walk[-2]
                     prev_nbrs = nbr_sets[prev]
-                    weights = np.empty(len(nbrs), dtype=np.float64)
+                    weights = np.empty(len(nbrs), dtype=FLOAT64)
                     for i, x in enumerate(nbrs):
                         if x == prev:
                             weights[i] = 1.0 / p

@@ -13,6 +13,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 from repro.utils.rng import RngLike, as_generator
 
 __all__ = ["walks_to_pairs", "train_skipgram", "node2vec_embeddings"]
@@ -65,7 +67,7 @@ def train_skipgram(
     z_in = (gen.random((num_nodes, dim)) - 0.5) / dim
     z_out = np.zeros((num_nodes, dim))
 
-    freq = np.bincount(pairs[:, 1], minlength=num_nodes).astype(np.float64)
+    freq = np.bincount(pairs[:, 1], minlength=num_nodes).astype(FLOAT64)
     noise = freq**0.75
     noise /= noise.sum()
 

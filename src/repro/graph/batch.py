@@ -17,6 +17,7 @@ import numpy as np
 
 from repro import obs
 from repro.graph.structure import Graph
+from repro.nn.dtype import get_compute_dtype
 from repro.nn.kernels import PlanCache
 
 __all__ = ["GraphBatch", "collate"]
@@ -128,8 +129,11 @@ def _collate(
     # Preallocate every output once and fill per-graph slices: concatenating
     # dozens of tiny arrays per batch used to dominate collation time.
     edge_index = np.empty((2, e_total), dtype=np.int64)
-    node_features = np.empty((n_total, feat_dims.pop()), dtype=np.float64)
-    edge_attr = np.zeros((e_total, edge_attr_dim), dtype=np.float64)
+    # Float payloads materialize directly in the active compute dtype, so
+    # a float32 policy never allocates (then casts away) float64 batches.
+    float_dtype = get_compute_dtype()
+    node_features = np.empty((n_total, feat_dims.pop()), dtype=float_dtype)
+    edge_attr = np.zeros((e_total, edge_attr_dim), dtype=float_dtype)
     batch = np.repeat(np.arange(len(graphs), dtype=np.int64), node_counts)
 
     node_offset = 0

@@ -11,6 +11,8 @@ from typing import Dict
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 from repro.graph.structure import Graph
 from repro.graph.traversal import bfs_distances
 
@@ -86,7 +88,7 @@ def degree_assortativity(graph: Graph) -> float:
     src, dst = graph.edge_index
     if len(src) < 2:
         return 0.0
-    deg = graph.degree().astype(np.float64)
+    deg = graph.degree().astype(FLOAT64)
     x, y = deg[src], deg[dst]
     sx, sy = x.std(), y.std()
     if sx == 0 or sy == 0:
@@ -96,7 +98,7 @@ def degree_assortativity(graph: Graph) -> float:
 
 def degree_summary(graph: Graph) -> Dict[str, float]:
     """Mean / median / max degree and the heavy-tail ratio max/median."""
-    deg = graph.degree().astype(np.float64)
+    deg = graph.degree().astype(FLOAT64)
     if deg.size == 0:
         return {"mean": 0.0, "median": 0.0, "max": 0.0, "tail_ratio": 0.0}
     med = float(np.median(deg))

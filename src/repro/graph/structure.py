@@ -27,6 +27,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 from repro.store.graph_storage import GraphStorage
 
 __all__ = ["Graph"]
@@ -97,7 +99,7 @@ class Graph:
     def _check_2d(arr: Optional[np.ndarray], rows: int, name: str) -> Optional[np.ndarray]:
         if arr is None:
             return None
-        arr = np.asarray(arr, dtype=np.float64)
+        arr = np.asarray(arr, dtype=FLOAT64)
         if arr.ndim != 2 or arr.shape[0] != rows:
             raise ValueError(f"{name} must have shape ({rows}, D)")
         return arr
@@ -130,7 +132,7 @@ class Graph:
         ei[0, 0::2], ei[1, 0::2] = edges[:, 0], edges[:, 1]
         ei[0, 1::2], ei[1, 1::2] = edges[:, 1], edges[:, 0]
         et = None if edge_type is None else np.repeat(np.asarray(edge_type, dtype=np.int64), 2)
-        ea = None if edge_attr is None else np.repeat(np.asarray(edge_attr, dtype=np.float64), 2, axis=0)
+        ea = None if edge_attr is None else np.repeat(np.asarray(edge_attr, dtype=FLOAT64), 2, axis=0)
         return cls(
             num_nodes,
             ei,

@@ -13,6 +13,8 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 from repro.graph.structure import Graph
 
 __all__ = [
@@ -65,8 +67,8 @@ def _pairwise(
     if pairs.ndim != 2 or pairs.shape[1] != 2:
         raise ValueError("pairs must have shape (M, 2)")
     nbrs = neighbor_sets(graph)
-    deg = graph.degree().astype(np.float64)
-    out = np.empty(len(pairs), dtype=np.float64)
+    deg = graph.degree().astype(FLOAT64)
+    out = np.empty(len(pairs), dtype=FLOAT64)
     for i, (u, v) in enumerate(pairs):
         out[i] = score_fn(nbrs[int(u)], nbrs[int(v)], deg)
     return out
@@ -117,7 +119,7 @@ def resource_allocation(graph: Graph, pairs: np.ndarray) -> np.ndarray:
 def preferential_attachment(graph: Graph, pairs: np.ndarray) -> np.ndarray:
     """``deg(u) · deg(v)`` (Newman, 2001)."""
     pairs = np.asarray(pairs, dtype=np.int64)
-    deg = graph.degree().astype(np.float64)
+    deg = graph.degree().astype(FLOAT64)
     return deg[pairs[:, 0]] * deg[pairs[:, 1]]
 
 

@@ -11,12 +11,14 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 __all__ = ["brier_score", "expected_calibration_error", "reliability_bins"]
 
 
 def _validate(y_true: np.ndarray, probs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     y_true = np.asarray(y_true)
-    probs = np.asarray(probs, dtype=np.float64)
+    probs = np.asarray(probs, dtype=FLOAT64)
     if probs.ndim != 2 or y_true.shape != (probs.shape[0],):
         raise ValueError("probs must be (B, C) matching y_true")
     if y_true.size and (y_true.min() < 0 or y_true.max() >= probs.shape[1]):
@@ -54,10 +56,10 @@ def reliability_bins(
     y_true, probs = _validate(y_true, probs)
     conf = probs.max(axis=1)
     pred = probs.argmax(axis=1)
-    correct = (pred == y_true).astype(np.float64)
+    correct = (pred == y_true).astype(FLOAT64)
     # Bin by confidence; right-closed bins so conf=1.0 falls in the last.
     idx = np.minimum((conf * n_bins).astype(int), n_bins - 1)
-    counts = np.bincount(idx, minlength=n_bins).astype(np.float64)
+    counts = np.bincount(idx, minlength=n_bins).astype(FLOAT64)
     conf_sum = np.bincount(idx, weights=conf, minlength=n_bins)
     acc_sum = np.bincount(idx, weights=correct, minlength=n_bins)
     with np.errstate(invalid="ignore", divide="ignore"):

@@ -14,6 +14,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 __all__ = [
     "accuracy",
     "confusion_matrix",
@@ -54,16 +56,16 @@ def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, num_classes: Option
 def precision_per_class(y_true: np.ndarray, y_pred: np.ndarray, num_classes: Optional[int] = None) -> np.ndarray:
     """``TP/(TP+FP)`` per class; classes never predicted get 0."""
     m = confusion_matrix(y_true, y_pred, num_classes)
-    predicted = m.sum(axis=0).astype(np.float64)
-    tp = np.diag(m).astype(np.float64)
+    predicted = m.sum(axis=0).astype(FLOAT64)
+    tp = np.diag(m).astype(FLOAT64)
     return np.divide(tp, predicted, out=np.zeros_like(tp), where=predicted > 0)
 
 
 def recall_per_class(y_true: np.ndarray, y_pred: np.ndarray, num_classes: Optional[int] = None) -> np.ndarray:
     """``TP/(TP+FN)`` per class; absent classes get 0."""
     m = confusion_matrix(y_true, y_pred, num_classes)
-    actual = m.sum(axis=1).astype(np.float64)
-    tp = np.diag(m).astype(np.float64)
+    actual = m.sum(axis=1).astype(FLOAT64)
+    tp = np.diag(m).astype(FLOAT64)
     return np.divide(tp, actual, out=np.zeros_like(tp), where=actual > 0)
 
 

@@ -13,6 +13,8 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 __all__ = ["true_class_ranks", "mean_reciprocal_rank", "hits_at_k", "ranking_report"]
 
 
@@ -25,7 +27,7 @@ def true_class_ranks(y_true: np.ndarray, probs: np.ndarray) -> np.ndarray:
     convention to keep the metric tie-stable).
     """
     y_true = np.asarray(y_true)
-    probs = np.asarray(probs, dtype=np.float64)
+    probs = np.asarray(probs, dtype=FLOAT64)
     if probs.ndim != 2 or y_true.shape != (probs.shape[0],):
         raise ValueError("probs must be (B, C) matching y_true")
     true_scores = probs[np.arange(len(y_true)), y_true]

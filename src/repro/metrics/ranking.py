@@ -18,6 +18,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 from repro.utils.rng import RngLike, as_generator
 
 __all__ = [
@@ -30,7 +32,7 @@ __all__ = [
 
 def _validate_binary(y_true: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     y_true = np.asarray(y_true)
-    scores = np.asarray(scores, dtype=np.float64)
+    scores = np.asarray(scores, dtype=FLOAT64)
     if y_true.shape != scores.shape or y_true.ndim != 1:
         raise ValueError("y_true and scores must be equal-length 1-D arrays")
     uniq = np.unique(y_true)
@@ -48,7 +50,7 @@ def roc_curve(y_true: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.nd
     # Collapse ties: take the last index of each distinct score.
     distinct = np.nonzero(np.diff(s_sorted))[0]
     idx = np.concatenate([distinct, [len(s_sorted) - 1]])
-    tp = np.cumsum(y_sorted)[idx].astype(np.float64)
+    tp = np.cumsum(y_sorted)[idx].astype(FLOAT64)
     fp = (idx + 1) - tp
     p = max(float(y_true.sum()), 1.0)
     n = max(float(len(y_true) - y_true.sum()), 1.0)
@@ -71,10 +73,10 @@ def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
         return 0.5
     # Midranks handle ties exactly.
     order = np.argsort(scores, kind="stable")
-    ranks = np.empty(len(scores), dtype=np.float64)
+    ranks = np.empty(len(scores), dtype=FLOAT64)
     sorted_scores = scores[order]
     i = 0
-    base = np.arange(1, len(scores) + 1, dtype=np.float64)
+    base = np.arange(1, len(scores) + 1, dtype=FLOAT64)
     # Assign midranks to tied runs.
     boundaries = np.nonzero(np.diff(sorted_scores))[0] + 1
     starts = np.concatenate([[0], boundaries])
@@ -108,7 +110,7 @@ def multiclass_auc(
     rng: picks the positive class at random (paper protocol).
     """
     y_true = np.asarray(y_true)
-    probs = np.asarray(probs, dtype=np.float64)
+    probs = np.asarray(probs, dtype=FLOAT64)
     if probs.ndim != 2 or probs.shape[0] != y_true.shape[0]:
         raise ValueError("probs must be (B, C) matching y_true")
     present = np.unique(y_true)

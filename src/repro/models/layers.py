@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
+from repro.nn.dtype import FLOAT64, get_compute_dtype
 from repro.nn.indexing import gather, segment_softmax, segment_sum
 from repro.nn.kernels import PlanCache
 from repro.nn.module import Module, Parameter
@@ -51,7 +52,8 @@ def add_self_loops(
     ei = np.concatenate([edge_index, np.stack([loops, loops])], axis=1)
     if edge_attr is None:
         return ei, None
-    loop_attr = np.full((num_nodes, edge_attr.shape[1]), fill, dtype=np.float64)
+    attr_dtype = edge_attr.dtype if edge_attr.dtype.kind == "f" else get_compute_dtype()
+    loop_attr = np.full((num_nodes, edge_attr.shape[1]), fill, dtype=attr_dtype)
     return ei, np.concatenate([edge_attr, loop_attr], axis=0)
 
 
@@ -98,9 +100,11 @@ class GCNConv(Module):
         else:
             ei, _ = add_self_loops(edge_index, n)
             src, dst = ei
-            deg = np.bincount(dst, minlength=n).astype(np.float64)
+            deg = np.bincount(dst, minlength=n).astype(FLOAT64)
             inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1.0))
-            coeff = inv_sqrt[src] * inv_sqrt[dst]  # per-arc normalization
+            # Normalization computed in float64, then narrowed to the
+            # compute dtype once (matches the PlanCache.gcn_coeff cache).
+            coeff = (inv_sqrt[src] * inv_sqrt[dst]).astype(get_compute_dtype(), copy=False)
             src_plan = dst_plan = None
 
         h = x @ self.weight  # (N, out)
@@ -213,7 +217,9 @@ class GATConv(Module):
         n = x.shape[0]
         if self.edge_dim > 0:
             if edge_attr is None:
-                edge_attr = np.zeros((edge_index.shape[1], self.edge_dim))
+                edge_attr = np.zeros(
+                    (edge_index.shape[1], self.edge_dim), dtype=get_compute_dtype()
+                )
             elif edge_attr.shape[1] != self.edge_dim:
                 raise ValueError(
                     f"edge_attr width {edge_attr.shape[1]} != edge_dim {self.edge_dim}"

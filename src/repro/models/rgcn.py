@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.models.dgcnn import DGCNNBackbone
 from repro.nn import init
+from repro.nn.dtype import get_compute_dtype
 from repro.nn.indexing import gather, segment_count, segment_sum
 from repro.nn.kernels import PlanCache
 from repro.nn.module import Module, Parameter
@@ -108,7 +109,7 @@ class RGCNConv(Module):
             messages = term if messages is None else messages + term
         agg = segment_sum(messages, dst, n, plan=dst_plan)
         if dst_plan is not None:
-            degree = np.maximum(dst_plan.counts.astype(np.float64), 1.0)[:, None]
+            degree = np.maximum(dst_plan.counts.astype(get_compute_dtype()), 1.0)[:, None]
         else:
             degree = np.maximum(segment_count(dst, n), 1.0)[:, None]
         out = x @ self.weight_self + agg * Tensor(1.0 / degree)

@@ -74,7 +74,7 @@ def sort_pool(
     sel_rows = np.where(valid, order[np.minimum(sel, n - 1)], 0)
 
     pooled = gather(x, sel_rows.ravel())  # (B*k, F)
-    mask = valid.astype(np.float64).reshape(num_graphs * k, 1)
+    mask = valid.astype(x.data.dtype).reshape(num_graphs * k, 1)
     pooled = pooled * Tensor(mask)
     return pooled.reshape(num_graphs, k, f)
 

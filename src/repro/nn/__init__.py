@@ -6,11 +6,20 @@ Public surface::
     from repro.nn import functional as F
 """
 
+from repro.nn import dtype
 from repro.nn import functional
 from repro.nn import init
 from repro.nn import kernels
+from repro.nn import workspace
 from repro.nn.conv import Conv1d, MaxPool1d
 from repro.nn.dense import MLP, Dropout, Linear
+from repro.nn.dtype import (
+    cast_module,
+    compute_dtype,
+    get_compute_dtype,
+    resolve_dtype,
+    set_compute_dtype,
+)
 from repro.nn.gradcheck import gradcheck, numeric_grad
 from repro.nn.kernels import (
     PlanCache,
@@ -33,8 +42,27 @@ from repro.nn.module import Module, ModuleList, Parameter, Sequential
 from repro.nn.norm import BatchNorm1d, LayerNorm
 from repro.nn.optim import SGD, Adam, AdamW, Optimizer, StepLR, clip_grad_norm
 from repro.nn.tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack, where
+from repro.nn.workspace import (
+    Workspace,
+    global_workspace,
+    set_workspace_enabled,
+    use_workspace,
+    workspace_enabled,
+)
 
 __all__ = [
+    "dtype",
+    "compute_dtype",
+    "get_compute_dtype",
+    "set_compute_dtype",
+    "resolve_dtype",
+    "cast_module",
+    "workspace",
+    "Workspace",
+    "global_workspace",
+    "workspace_enabled",
+    "set_workspace_enabled",
+    "use_workspace",
     "Tensor",
     "as_tensor",
     "concatenate",

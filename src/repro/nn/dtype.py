@@ -1,0 +1,118 @@
+"""Compute-dtype policy for the autograd engine.
+
+Everything numeric in ``repro.nn`` used to hardcode ``np.float64``. This
+module replaces those literals with one **policy**: a per-thread active
+compute dtype that :class:`~repro.nn.tensor.Tensor` construction, the
+functional ops, the segment kernels, and every layer consult when they
+allocate a float array. The default is float64 and the default path is
+bit-identical to the pre-policy engine; float32 is opt-in::
+
+    with compute_dtype("float32"):
+        out = model(Tensor(x), edge_index)
+
+Two distinct needs, two distinct spellings:
+
+* :func:`get_compute_dtype` / :func:`compute_dtype` — *policy-following*
+  code: tape allocations, one-hot features, batch collation, layer
+  scratch. These narrow to float32 when the policy says so.
+* :data:`FLOAT64` — *policy-exempt* code: evaluation metrics, the GP
+  tuner, heuristic scores, gradient reduction. These stay double no
+  matter the policy; using the named constant (instead of a raw
+  ``np.float64`` literal) is what ``scripts/check_dtype_policy.py``
+  keys on to tell "deliberately pinned" from "forgot the policy".
+
+The policy is thread-local so a scoring thread can run float32 without
+perturbing a training thread; new threads start at the float64 default.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+import numpy as np
+
+__all__ = [
+    "FLOAT32",
+    "FLOAT64",
+    "DEFAULT_DTYPE",
+    "SUPPORTED",
+    "resolve_dtype",
+    "get_compute_dtype",
+    "set_compute_dtype",
+    "compute_dtype",
+    "coerce",
+    "cast_module",
+]
+
+#: Pinned double precision — the spelling policy-exempt modules use.
+FLOAT64 = np.dtype("float64")
+#: Reduced precision for the opt-in mixed-precision path.
+FLOAT32 = np.dtype("float32")
+#: What the engine runs at when nobody asks for anything else.
+DEFAULT_DTYPE = FLOAT64
+#: The only dtypes the tape supports as compute dtypes.
+SUPPORTED = (FLOAT32, FLOAT64)
+
+DtypeLike = Union[str, np.dtype, type]
+
+_state = threading.local()
+
+
+def resolve_dtype(spec: DtypeLike) -> np.dtype:
+    """Normalize ``spec`` to one of the supported compute dtypes.
+
+    Accepts ``"float32"``/``"float64"``, numpy dtypes, or scalar types;
+    raises ``ValueError`` for anything the tape cannot run at (halves,
+    ints, complex).
+    """
+    dt = np.dtype(spec)
+    if dt not in SUPPORTED:
+        names = ", ".join(d.name for d in SUPPORTED)
+        raise ValueError(f"unsupported compute dtype {dt.name!r}; expected one of: {names}")
+    return dt
+
+
+def get_compute_dtype() -> np.dtype:
+    """The active compute dtype for this thread (float64 unless set)."""
+    return getattr(_state, "dtype", DEFAULT_DTYPE)
+
+
+def set_compute_dtype(spec: DtypeLike) -> np.dtype:
+    """Set the active compute dtype; returns the previous one."""
+    previous = get_compute_dtype()
+    _state.dtype = resolve_dtype(spec)
+    return previous
+
+
+@contextmanager
+def compute_dtype(spec: DtypeLike) -> Iterator[np.dtype]:
+    """Scoped policy: run the body with ``spec`` as the compute dtype."""
+    previous = set_compute_dtype(spec)
+    try:
+        yield get_compute_dtype()
+    finally:
+        _state.dtype = previous
+
+
+def coerce(arr: np.ndarray) -> np.ndarray:
+    """Cast a float array to the active compute dtype (ints pass through)."""
+    if arr.dtype.kind == "f" and arr.dtype != get_compute_dtype():
+        return arr.astype(get_compute_dtype())
+    return arr
+
+
+def cast_module(module, spec: DtypeLike):
+    """Cast every float parameter of ``module`` in place to ``spec``.
+
+    Grad buffers are dropped (they belong to the old dtype). Returns the
+    module so call sites can chain. The optimizer keeps float64 master
+    copies independently — see :class:`repro.nn.optim.Adam`.
+    """
+    dt = resolve_dtype(spec)
+    for _, p in module.named_parameters():
+        if p.data.dtype.kind == "f" and p.data.dtype != dt:
+            p.data = p.data.astype(dt)
+            p.grad = None
+    return module

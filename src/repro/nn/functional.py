@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn.dtype import get_compute_dtype
 from repro.nn.tensor import Tensor, as_tensor
 from repro.utils.rng import RngLike, as_generator
 
@@ -115,7 +116,9 @@ def dropout(
     gen = as_generator(rng)
     keep = gen.random(x.data.shape) >= p
     scale = 1.0 / (1.0 - p)
-    mask = keep * scale
+    # Cast the boolean mask before scaling: bool * float would make a
+    # float64 mask and silently promote a float32 activation.
+    mask = keep.astype(x.data.dtype) * scale
     out = x.data * mask
     return Tensor._from_op(out, (x,), (lambda g: g * mask,), "dropout")
 
@@ -129,7 +132,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
     labels = np.asarray(labels)
     if labels.ndim != 1:
         raise ValueError("labels must be 1-D")
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=get_compute_dtype())
     valid = labels >= 0
     if (labels[valid] >= num_classes).any():
         raise ValueError("label exceeds num_classes")
@@ -150,7 +153,7 @@ def pad_rows(x: Tensor, target_rows: int) -> Tensor:
     if n > target_rows:
         return x[np.arange(target_rows)]
     pad_shape = (target_rows - n,) + x.data.shape[1:]
-    out = np.concatenate([x.data, np.zeros(pad_shape)], axis=0)
+    out = np.concatenate([x.data, np.zeros(pad_shape, dtype=x.data.dtype)], axis=0)
 
     def vjp(g: np.ndarray) -> np.ndarray:
         return g[:n]

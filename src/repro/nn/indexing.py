@@ -31,6 +31,8 @@ from typing import Optional
 import numpy as np
 
 from repro.nn import kernels
+from repro.nn import workspace as _ws
+from repro.nn.dtype import FLOAT64, get_compute_dtype
 from repro.nn.kernels import SegmentPlan
 from repro.nn.tensor import Tensor, as_tensor
 
@@ -90,8 +92,9 @@ def gather(
 
     def vjp(g: np.ndarray) -> np.ndarray:
         if plan is not None:
-            return plan.segment_sum(g)
-        full = np.zeros(shape, dtype=np.float64)
+            buf = _ws.grad_buffer((shape[0],) + g.shape[1:], g.dtype)
+            return plan.segment_sum(g, out=buf)
+        full = _ws.grad_buffer((shape[0],) + g.shape[1:], g.dtype, zero=True)
         np.add.at(full, index, g)
         return full
 
@@ -143,11 +146,12 @@ def segment_sum(
     if plan is not None:
         out = plan.segment_sum(x.data)
     else:
-        out = np.zeros((num_segments,) + x.data.shape[1:], dtype=np.float64)
+        out = np.zeros((num_segments,) + x.data.shape[1:], dtype=x.data.dtype)
         np.add.at(out, index, x.data)
 
     def vjp(g: np.ndarray) -> np.ndarray:
-        return g[index]
+        buf = _ws.grad_buffer((index.size,) + g.shape[1:], g.dtype)
+        return np.take(g, index, axis=0, out=buf)
 
     return Tensor._from_op(out, (x,), (vjp,), "segment_sum")
 
@@ -155,7 +159,7 @@ def segment_sum(
 def segment_count(index: np.ndarray, num_segments: int) -> np.ndarray:
     """Number of rows per segment (plain ndarray, non-differentiable)."""
     index = _check_index(index)
-    return np.bincount(index, minlength=num_segments).astype(np.float64)
+    return np.bincount(index, minlength=num_segments).astype(get_compute_dtype())
 
 
 def segment_mean(
@@ -169,9 +173,9 @@ def segment_mean(
     sums = segment_sum(x, index, num_segments, plan=plan)
     active = kernels.resolve_plan(plan)
     if active is not None:
-        counts = np.maximum(active.counts.astype(np.float64), 1.0)
+        counts = np.maximum(active.counts.astype(FLOAT64), 1.0)
     else:
-        counts = np.maximum(segment_count(index, num_segments), 1.0)
+        counts = np.maximum(segment_count(index, num_segments).astype(FLOAT64), 1.0)
     counts = counts.reshape((num_segments,) + (1,) * (sums.ndim - 1))
     return sums * Tensor(1.0 / counts)
 
@@ -198,7 +202,7 @@ def segment_max(
         out = plan.segment_max(data)
         empty = plan.empty
     else:
-        out = np.full((num_segments,) + data.shape[1:], -np.inf, dtype=np.float64)
+        out = np.full((num_segments,) + data.shape[1:], -np.inf, dtype=data.dtype)
         np.maximum.at(out, index, data)
         # One bincount instead of an np.isin allocation-and-scan per call.
         empty = np.bincount(index, minlength=num_segments) == 0
@@ -210,15 +214,15 @@ def segment_max(
     is_max = data == out[index]
 
     def vjp(g: np.ndarray) -> np.ndarray:
-        grad = np.zeros_like(data)
+        grad = _ws.grad_buffer(data.shape, data.dtype, zero=True)
         gathered = g[index]
         # For duplicate maxima in a segment, split gradient equally: this
         # is a valid subgradient and keeps the op deterministic.
         if plan is not None:
-            counts = plan.segment_sum(is_max.astype(np.float64))
+            counts = plan.segment_sum(is_max.astype(data.dtype))
         else:
             counts = np.zeros_like(out)
-            np.add.at(counts, index, is_max.astype(np.float64))
+            np.add.at(counts, index, is_max.astype(data.dtype))
         denom = np.where(counts[index] > 0, counts[index], 1.0)
         grad[is_max] = (gathered / denom)[is_max]
         return grad
@@ -260,7 +264,7 @@ def segment_softmax(
         out = plan.segment_softmax(data)
     else:
         # Per-segment max for numerical stability (constant wrt gradient).
-        seg_max = np.full((num_segments,) + data.shape[1:], -np.inf, dtype=np.float64)
+        seg_max = np.full((num_segments,) + data.shape[1:], -np.inf, dtype=data.dtype)
         np.maximum.at(seg_max, index, data)
         seg_max[~np.isfinite(seg_max)] = 0.0  # empty segments
         expd = np.exp(data - seg_max[index])
@@ -275,8 +279,11 @@ def segment_softmax(
         if plan is not None:
             seg_dot = plan.segment_sum(weighted)
         else:
-            seg_dot = np.zeros_like(seg_max)
+            seg_dot = np.zeros((num_segments,) + g.shape[1:], dtype=g.dtype)
             np.add.at(seg_dot, index, weighted)
-        return out * (g - seg_dot[index])
+        buf = _ws.grad_buffer(g.shape, g.dtype)
+        np.subtract(g, seg_dot[index], out=buf)
+        np.multiply(out, buf, out=buf)
+        return buf
 
     return Tensor._from_op(out, (logits,), (vjp,), "segment_softmax")

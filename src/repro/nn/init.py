@@ -12,6 +12,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import get_compute_dtype
 from repro.utils.rng import RngLike, as_generator
 
 __all__ = [
@@ -58,7 +59,7 @@ def kaiming_uniform(shape: Sequence[int], negative_slope: float = 0.0, rng: RngL
 
 def zeros(shape: Sequence[int]) -> np.ndarray:
     """All-zero init (biases)."""
-    return np.zeros(tuple(shape), dtype=np.float64)
+    return np.zeros(tuple(shape), dtype=get_compute_dtype())
 
 
 def uniform(shape: Sequence[int], low: float = -0.05, high: float = 0.05, rng: RngLike = None) -> np.ndarray:

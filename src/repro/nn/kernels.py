@@ -51,6 +51,8 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from repro import obs
+from repro.nn import workspace as _ws
+from repro.nn.dtype import FLOAT64, get_compute_dtype
 
 try:  # scipy ships with the repo's dependencies, but stay importable without it
     from scipy import sparse as _sparse
@@ -111,6 +113,19 @@ class use_plans:
 def resolve_plan(plan):
     """The plan to actually use: ``None`` when plans are globally disabled."""
     return plan if _PLANS_ENABLED else None
+
+
+def _as_compute(data: np.ndarray) -> np.ndarray:
+    """Kernel operand coercion: keep float dtypes, lift others to policy.
+
+    Planned kernels are dtype-preserving — float32 in, float32 out —
+    so the compute policy set at tensor construction flows through the
+    whole segment engine without further casts.
+    """
+    data = np.asarray(data)
+    if data.dtype.kind != "f":
+        data = data.astype(get_compute_dtype())
+    return data
 
 
 # --------------------------------------------------------------------- #
@@ -179,8 +194,8 @@ class SegmentPlan:
         self.nonempty = self.counts > 0
         self.empty = ~self.nonempty
         self.starts = self.indptr[:-1][self.nonempty]
-        self._matrix = None
-        self._sorted_matrix = None
+        self._matrix = {}
+        self._sorted_matrix = {}
         self._sorted_index = None
         self._inverse = None
         obs.count("kernels.plan.built")
@@ -203,18 +218,26 @@ class SegmentPlan:
     # ------------------------------------------------------------------ #
     # kernels
     # ------------------------------------------------------------------ #
-    def _scatter_matrix(self):
-        """Lazily built ``(N, E)`` CSR matrix summing rows per segment."""
-        if self._matrix is None and _sparse is not None:
-            self._matrix = _sparse.csr_matrix(
+    def _scatter_matrix(self, dtype):
+        """Lazily built ``(N, E)`` CSR matrix summing rows per segment.
+
+        Cached per dtype — a float64 matrix would upcast a float32
+        operand through the matmul, defeating the compute policy.
+        """
+        if _sparse is None:
+            return None
+        dtype = np.dtype(dtype)
+        matrix = self._matrix.get(dtype.str)
+        if matrix is None:
+            matrix = self._matrix[dtype.str] = _sparse.csr_matrix(
                 (
-                    np.ones(self.size, dtype=np.float64),
+                    np.ones(self.size, dtype=dtype),
                     self.order.astype(np.int32),
                     self.indptr.astype(np.int32),
                 ),
                 shape=(self.num_segments, self.size),
             )
-        return self._matrix
+        return matrix
 
     def take_sorted(self, data: np.ndarray) -> np.ndarray:
         """``data`` permuted into segment-grouped order (no copy if sorted).
@@ -233,43 +256,91 @@ class SegmentPlan:
             self._inverse = inverse
         return self._inverse
 
-    def segment_sum(self, data: np.ndarray) -> np.ndarray:
-        """Per-segment sums, bit-identical to the ``np.add.at`` scatter."""
+    def segment_sum(
+        self, data: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-segment sums, bit-identical to the ``np.add.at`` scatter.
+
+        ``out`` (shape ``(N,) + data.shape[1:]``, matching dtype) receives
+        the result when given — callers on the tape pass workspace
+        buffers so steady-state backwards reuse rather than allocate.
+        The values are identical either way.
+        """
         with obs.trace("kernel.segment_sum"):
-            data = np.asarray(data, dtype=np.float64)
+            data = _as_compute(data)
             tail = data.shape[1:]
             if self.size == 0:
-                return np.zeros((self.num_segments,) + tail, dtype=np.float64)
-            if data.ndim == 1:
-                return np.bincount(self.index, weights=data, minlength=self.num_segments)
-            flat = np.ascontiguousarray(data.reshape(self.size, -1))
-            matrix = self._scatter_matrix()
-            if matrix is not None:
-                out = matrix @ flat
-            else:  # no scipy: per-column bincount over a contiguous layout
-                cols = np.ascontiguousarray(flat.T)
-                out = np.empty((self.num_segments, flat.shape[1]), dtype=np.float64)
-                for j in range(flat.shape[1]):
-                    out[:, j] = np.bincount(
-                        self.index, weights=cols[j], minlength=self.num_segments
+                if out is not None:
+                    out.fill(0)
+                    return out
+                return np.zeros((self.num_segments,) + tail, dtype=data.dtype)
+            if data.ndim == 1 and data.dtype == FLOAT64:
+                result = np.bincount(
+                    self.index, weights=data, minlength=self.num_segments
+                )
+            elif data.ndim == 1:
+                # bincount accumulates in float64 — that would round
+                # differently from the float32 ``np.add.at`` fallback, so
+                # reduced precision keeps bit-identity via the CSR path.
+                result = self.segment_sum(data.reshape(self.size, 1)).reshape(
+                    self.num_segments
+                )
+            else:
+                flat = np.ascontiguousarray(data.reshape(self.size, -1))
+                matrix = self._scatter_matrix(data.dtype)
+                if matrix is not None:
+                    result = (matrix @ flat).reshape((self.num_segments,) + tail)
+                else:  # no scipy: per-column bincount over a contiguous layout
+                    cols = np.ascontiguousarray(flat.T)
+                    result = np.empty(
+                        (self.num_segments, flat.shape[1]), dtype=data.dtype
                     )
-            return out.reshape((self.num_segments,) + tail)
+                    for j in range(flat.shape[1]):
+                        result[:, j] = np.bincount(
+                            self.index, weights=cols[j], minlength=self.num_segments
+                        )
+                    result = result.reshape((self.num_segments,) + tail)
+            if out is not None:
+                np.copyto(out, result)
+                return out
+            return result
 
-    def segment_max(self, data: np.ndarray) -> np.ndarray:
+    def segment_max(
+        self, data: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Per-segment maxima via sort + ``np.maximum.reduceat``.
 
         Empty segments are ``-inf`` — callers apply their own fill.
+        ``out`` receives the result in place when given.
         """
         with obs.trace("kernel.segment_max"):
-            data = np.asarray(data, dtype=np.float64)
-            out = np.full(
-                (self.num_segments,) + data.shape[1:], -np.inf, dtype=np.float64
-            )
+            data = _as_compute(data)
+            if out is None:
+                out = np.empty((self.num_segments,) + data.shape[1:], dtype=data.dtype)
+            out.fill(-np.inf)
             if self.size:
+                sorted_data, scratch = self._take_sorted_scratch(data)
                 out[self.nonempty] = np.maximum.reduceat(
-                    self.take_sorted(data), self.starts, axis=0
+                    sorted_data, self.starts, axis=0
                 )
+                if scratch is not None:
+                    _ws.global_workspace().release(scratch)
             return out
+
+    def _take_sorted_scratch(self, data: np.ndarray):
+        """Segment-sorted view of ``data`` plus the pooled scratch to release.
+
+        When the index is presorted this is ``(data, None)`` — zero copies.
+        Otherwise the permutation lands in a workspace buffer (when the
+        pool is enabled) that the caller must hand back after use.
+        """
+        if self.is_sorted:
+            return data, None
+        if _ws.workspace_enabled():
+            buf = _ws.global_workspace().acquire(data.shape, data.dtype)
+            np.take(data, self.order, axis=0, out=buf)
+            return buf, buf
+        return np.take(data, self.order, axis=0), None
 
     def _sorted_segment_sum(self, data: np.ndarray) -> np.ndarray:
         """Per-segment sums of *already segment-sorted* rows.
@@ -284,35 +355,49 @@ class SegmentPlan:
             self._sorted_index = (
                 self.index if self.is_sorted else self.index[self.order]
             )
-        if data.ndim == 1:
+        if data.ndim == 1 and data.dtype == FLOAT64:
             return np.bincount(
                 self._sorted_index, weights=data, minlength=self.num_segments
             )
+        if data.ndim == 1:
+            return self._sorted_segment_sum(data.reshape(self.size, 1)).reshape(
+                self.num_segments
+            )
         flat = np.ascontiguousarray(data.reshape(self.size, -1))
-        if self._sorted_matrix is None and _sparse is not None:
-            if self.is_sorted:
-                self._sorted_matrix = self._scatter_matrix()
-            else:
-                self._sorted_matrix = _sparse.csr_matrix(
-                    (
-                        np.ones(self.size, dtype=np.float64),
-                        np.arange(self.size, dtype=np.int32),
-                        self.indptr.astype(np.int32),
-                    ),
-                    shape=(self.num_segments, self.size),
-                )
-        if self._sorted_matrix is not None:
-            out = self._sorted_matrix @ flat
+        matrix = self._sorted_scatter_matrix(data.dtype)
+        if matrix is not None:
+            out = matrix @ flat
         else:  # no scipy: per-column bincount over a contiguous layout
             cols = np.ascontiguousarray(flat.T)
-            out = np.empty((self.num_segments, flat.shape[1]), dtype=np.float64)
+            out = np.empty((self.num_segments, flat.shape[1]), dtype=data.dtype)
             for j in range(flat.shape[1]):
                 out[:, j] = np.bincount(
                     self._sorted_index, weights=cols[j], minlength=self.num_segments
                 )
         return out.reshape((self.num_segments,) + tail)
 
-    def segment_softmax(self, data: np.ndarray) -> np.ndarray:
+    def _sorted_scatter_matrix(self, dtype):
+        """CSR summing *presorted* rows per segment, cached per dtype."""
+        if _sparse is None:
+            return None
+        if self.is_sorted:
+            return self._scatter_matrix(dtype)
+        dtype = np.dtype(dtype)
+        matrix = self._sorted_matrix.get(dtype.str)
+        if matrix is None:
+            matrix = self._sorted_matrix[dtype.str] = _sparse.csr_matrix(
+                (
+                    np.ones(self.size, dtype=dtype),
+                    np.arange(self.size, dtype=np.int32),
+                    self.indptr.astype(np.int32),
+                ),
+                shape=(self.num_segments, self.size),
+            )
+        return matrix
+
+    def segment_softmax(
+        self, data: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Fused per-segment softmax, bit-identical to the scatter fallback.
 
         Runs entirely in the segment-sorted domain — one permutation in,
@@ -325,22 +410,26 @@ class SegmentPlan:
         identical operands, and the sums accumulate in identical order.
         """
         with obs.trace("kernel.segment_softmax"):
-            data = np.asarray(data, dtype=np.float64)
+            data = _as_compute(data)
             if self.size == 0:
+                if out is not None:
+                    out.fill(0)
+                    return out
                 return np.zeros_like(data)
             if data.ndim == 1:
                 # 1-D ufunc.at has a fast indexed loop in NumPy >= 1.24;
                 # the sort/unsort round trip cannot beat it there.
-                seg_max = np.full(self.num_segments, -np.inf, dtype=np.float64)
+                seg_max = np.full(self.num_segments, -np.inf, dtype=data.dtype)
                 np.maximum.at(seg_max, self.index, data)
                 seg_max[~np.isfinite(seg_max)] = 0.0
                 expd = np.exp(data - seg_max[self.index])
-                denom = np.bincount(
-                    self.index, weights=expd, minlength=self.num_segments
-                )
+                denom = self.segment_sum(expd)
                 denom = np.where(denom > 0, denom, 1.0)
+                if out is not None:
+                    np.divide(expd, denom[self.index], out=out)
+                    return out
                 return expd / denom[self.index]
-            sorted_data = self.take_sorted(data)
+            sorted_data, scratch = self._take_sorted_scratch(data)
             live_counts = self.counts[self.nonempty]
             seg_max = np.maximum.reduceat(sorted_data, self.starts, axis=0)
             seg_max[~np.isfinite(seg_max)] = 0.0  # all-(-inf)/nan segments
@@ -350,12 +439,20 @@ class SegmentPlan:
             expd = np.repeat(seg_max, live_counts, axis=0)
             np.subtract(sorted_data, expd, out=expd)
             np.exp(expd, out=expd)
+            if scratch is not None:
+                _ws.global_workspace().release(scratch)
             denom = self._sorted_segment_sum(expd)[self.nonempty]
             denom = np.where(denom > 0, denom, 1.0)
             out_sorted = np.repeat(denom, live_counts, axis=0)
             np.divide(expd, out_sorted, out=out_sorted)
             if self.is_sorted:
+                if out is not None:
+                    np.copyto(out, out_sorted)
+                    return out
                 return out_sorted
+            if out is not None:
+                np.take(out_sorted, self.inverse_order(), axis=0, out=out)
+                return out
             return np.take(out_sorted, self.inverse_order(), axis=0)
 
 
@@ -414,8 +511,8 @@ class PlanCache:
         self.num_graphs = num_graphs
         self._plans: Dict[Tuple[str, bool], SegmentPlan] = {}
         self._loop_edge_index: Optional[np.ndarray] = None
-        self._gcn_coeff: Optional[np.ndarray] = None
-        self._loop_zeros: Dict[int, np.ndarray] = {}
+        self._gcn_coeff: Dict[str, np.ndarray] = {}
+        self._loop_zeros: Dict[Tuple[int, str], np.ndarray] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -465,17 +562,25 @@ class PlanCache:
             obs.count("kernels.plan_cache.hits")
         return self._loop_edge_index
 
-    def gcn_coeff(self) -> np.ndarray:
-        """Per-arc ``D̂^{-1/2} Â D̂^{-1/2}`` weights over the loop edges."""
-        if self._gcn_coeff is None:
+    def gcn_coeff(self, dtype=None) -> np.ndarray:
+        """Per-arc ``D̂^{-1/2} Â D̂^{-1/2}`` weights over the loop edges.
+
+        Cached per compute dtype (``dtype=None`` resolves to the active
+        policy); the float32 entry is the float64 computation narrowed
+        once, not a reduced-precision recomputation.
+        """
+        dtype = np.dtype(dtype) if dtype is not None else get_compute_dtype()
+        coeff = self._gcn_coeff.get(dtype.str)
+        if coeff is None:
             obs.count("kernels.plan_cache.misses")
             src, dst = self.loop_edge_index()
-            deg = self.dst(loops=True).counts.astype(np.float64)
+            deg = self.dst(loops=True).counts.astype(FLOAT64)
             inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1.0))
-            self._gcn_coeff = inv_sqrt[src] * inv_sqrt[dst]
+            coeff = (inv_sqrt[src] * inv_sqrt[dst]).astype(dtype, copy=False)
+            self._gcn_coeff[dtype.str] = coeff
         else:
             obs.count("kernels.plan_cache.hits")
-        return self._gcn_coeff
+        return coeff
 
     def loop_edge_attr(self, edge_attr: Optional[np.ndarray]) -> Optional[np.ndarray]:
         """``edge_attr`` with zero rows appended for the self-loops.
@@ -488,11 +593,13 @@ class PlanCache:
         if edge_attr is None:
             return None
         width = int(edge_attr.shape[1])
-        loop_rows = self._loop_zeros.get(width)
+        dtype = edge_attr.dtype if edge_attr.dtype.kind == "f" else get_compute_dtype()
+        key = (width, dtype.str)
+        loop_rows = self._loop_zeros.get(key)
         if loop_rows is None:
             obs.count("kernels.plan_cache.misses")
-            loop_rows = self._loop_zeros[width] = np.zeros(
-                (self.num_nodes, width), dtype=np.float64
+            loop_rows = self._loop_zeros[key] = np.zeros(
+                (self.num_nodes, width), dtype=dtype
             )
         else:
             obs.count("kernels.plan_cache.hits")

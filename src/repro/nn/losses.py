@@ -33,7 +33,7 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray, weight: Optional[np.ndarray
     rows = np.arange(targets.shape[0])
     picked = log_probs[(rows, targets)]
     if weight is not None:
-        w = np.asarray(weight, dtype=np.float64)[targets]
+        w = np.asarray(weight, dtype=log_probs.data.dtype)[targets]
         return -(picked * Tensor(w)).sum() * (1.0 / max(float(w.sum()), 1e-12))
     return -picked.mean()
 
@@ -49,7 +49,7 @@ def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
     Uses ``max(z,0) - z*y + log(1 + exp(-|z|))``; ``targets`` in {0,1}.
     """
     logits = as_tensor(logits)
-    y = np.asarray(targets, dtype=np.float64)
+    y = np.asarray(targets, dtype=logits.data.dtype)
     if y.shape != logits.shape:
         raise ValueError("targets must match logits shape")
     z = logits.data

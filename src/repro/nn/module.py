@@ -106,10 +106,13 @@ class Module:
         if missing or unexpected:
             raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
         for name, p in own.items():
-            arr = np.asarray(state[name], dtype=np.float64)
+            # Load into the parameter's current dtype: a float32 working
+            # model stays float32 when fed a float64 checkpoint and vice
+            # versa (the compute-dtype policy owns what the model runs at).
+            arr = np.asarray(state[name], dtype=p.data.dtype)
             if arr.shape != p.data.shape:
                 raise ValueError(f"shape mismatch for {name}: {arr.shape} vs {p.data.shape}")
-            p.data = arr.copy()
+            p.data = arr.copy() if arr is state[name] else arr
 
     # -- call --------------------------------------------------------------- #
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract

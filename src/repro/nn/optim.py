@@ -7,6 +7,17 @@ decoupled weight decay for the dense heads.
 
 All updates are in-place on ``Parameter.data`` and fully vectorized.
 
+**Mixed precision.** When a parameter runs reduced (``float32`` working
+copies under a :func:`repro.nn.dtype.compute_dtype` policy), Adam/AdamW
+keep a ``float64`` *master* copy per parameter in the state slots — the
+NumPy analog of AMP master weights. Gradients are upcast to float64,
+moments and the update run entirely in float64 against the master, and
+the parameter receives a fresh reduced-precision cast of the master each
+step. Masters serialize with the rest of the state, so checkpoints
+round-trip the full-precision weights losslessly;
+:meth:`Optimizer.sync_master_params` restores them into the model after
+training. Float64 parameters take the exact pre-policy update path.
+
 Per-parameter optimizer state (momentum velocities, Adam moments) is
 keyed by *parameter name*, not ``id(p)``: id keys cannot be serialized
 into a checkpoint, and a dict entry for a garbage-collected parameter
@@ -111,6 +122,40 @@ class Optimizer:
             for name, slots in sd["state"].items()
         }
 
+    def _master(self, name: str, p: Parameter) -> np.ndarray:
+        """The float64 master copy for a reduced-precision parameter.
+
+        Created lazily from the current working copy the first time a
+        reduced parameter steps (or decays), then owned by the state
+        dict so checkpoints carry it.
+        """
+        slots = self.state.setdefault(name, {})
+        master = slots.get("master")
+        if master is None:
+            master = slots["master"] = p.data.astype(np.float64)
+        return master
+
+    def sync_master_params(self) -> int:
+        """Push float64 master weights back into their parameters.
+
+        After mixed-precision training (or after loading a checkpoint
+        taken mid-run) this restores each parameter from its lossless
+        master — cast down if the parameter still runs reduced, copied
+        bit-exactly if it is float64 again. Returns how many parameters
+        were synced; float64-only runs have no masters and return 0.
+        """
+        synced = 0
+        for name, p in self._named():
+            master = self.state.get(name, {}).get("master")
+            if master is None:
+                continue
+            if p.data.dtype == np.float64:
+                p.data = master.copy()
+            else:
+                p.data = master.astype(p.data.dtype)
+            synced += 1
+        return synced
+
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -171,16 +216,23 @@ class Adam(Optimizer):
         for name, p in self._named():
             if p.grad is None:
                 continue
-            g = p.grad
+            # Reduced-precision parameters update a float64 master copy
+            # (grad upcast, moments in float64, working copy recast);
+            # float64 parameters take the exact pre-policy path.
+            reduced = p.data.dtype != np.float64
+            target = self._master(name, p) if reduced else p.data
+            g = p.grad.astype(np.float64) if reduced else p.grad
             if self.weight_decay:
-                g = g + self.weight_decay * p.data  # coupled L2 (classic Adam)
+                g = g + self.weight_decay * target  # coupled L2 (classic Adam)
             slots = self.state.setdefault(name, {})
             m = slots.get("m")
             v = slots.get("v")
             m = b1 * m + (1 - b1) * g if m is not None else (1 - b1) * g
             v = b2 * v + (1 - b2) * (g * g) if v is not None else (1 - b2) * (g * g)
             slots["m"], slots["v"] = m, v
-            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            target -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            if reduced:
+                p.data = target.astype(p.data.dtype)
 
 
 class AdamW(Adam):
@@ -188,8 +240,15 @@ class AdamW(Adam):
 
     def step(self) -> None:
         if self.weight_decay:
-            for p in self.params:
-                if p.grad is not None:
+            for name, p in self._named():
+                if p.grad is None:
+                    continue
+                if p.data.dtype != np.float64:
+                    # Decay the master — decaying the working copy would
+                    # be overwritten by the master writeback in step().
+                    master = self._master(name, p)
+                    master -= self.lr * self.weight_decay * master
+                else:
                     p.data -= self.lr * self.weight_decay * p.data
         wd, self.weight_decay = self.weight_decay, 0.0
         try:

@@ -4,7 +4,9 @@ This is the tensor backend substituting for PyTorch in the reproduction
 (the build environment has no GPU frameworks). It implements a classic
 tape-based design:
 
-* :class:`Tensor` wraps a ``float64`` (or integer, for indices) ndarray.
+* :class:`Tensor` wraps a float ndarray in the active compute dtype from
+  :mod:`repro.nn.dtype` (float64 by default; integer arrays, for indices,
+  are kept as-is).
 * Every differentiable operation records its parent tensors and one
   vector-Jacobian-product (VJP) closure per parent.
 * :meth:`Tensor.backward` topologically sorts the tape and accumulates
@@ -25,6 +27,9 @@ import contextlib
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.nn import workspace as _ws
+from repro.nn.dtype import coerce as _coerce_dtype, get_compute_dtype
 
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
 
@@ -82,9 +87,11 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to an ndarray. Floating-point inputs become
-        ``float64``; integer/bool arrays are kept as-is (useful for indices)
-        but cannot require gradients.
+        Anything convertible to an ndarray. Floating-point inputs are cast
+        to the active compute dtype (``float64`` unless a
+        :func:`repro.nn.dtype.compute_dtype` policy narrows it); integer and
+        bool arrays are kept as-is (useful for indices) but cannot require
+        gradients.
     requires_grad:
         Whether to build a tape through this tensor.
 
@@ -103,10 +110,10 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         arr = np.asarray(data)
-        if arr.dtype.kind == "f" and arr.dtype != np.float64:
-            arr = arr.astype(np.float64)
-        elif arr.dtype.kind not in "fiub":
-            arr = arr.astype(np.float64)
+        if arr.dtype.kind == "f":
+            arr = _coerce_dtype(arr)
+        elif arr.dtype.kind not in "iub":
+            arr = arr.astype(get_compute_dtype())
         if requires_grad and arr.dtype.kind != "f":
             raise TypeError("only floating tensors can require gradients")
         self.data: np.ndarray = arr
@@ -196,7 +203,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar outputs")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
@@ -218,23 +225,64 @@ class Tensor:
                 if p.requires_grad and id(p) not in visited:
                     stack.append((p, False))
 
-        grads: dict[int, np.ndarray] = {id(self): grad}
-        for node in reversed(topo):
-            g = grads.pop(id(node), None)
-            if g is None:
-                continue
-            if node._parents:
-                for parent, vjp in zip(node._parents, node._vjps):
-                    if vjp is None or not parent.requires_grad:
-                        continue
-                    contrib = vjp(g)
-                    key = id(parent)
-                    if key in grads:
-                        grads[key] = grads[key] + contrib
-                    else:
-                        grads[key] = contrib
-            else:
-                node.grad = g if node.grad is None else node.grad + g
+        # Gradient-buffer donation: interior grads live exactly until every
+        # consumer VJP has run, so a retired buffer can be recycled for the
+        # next same-shaped gradient instead of hitting the allocator. The
+        # arena only ever pools buffers it allocated itself, and a buffer
+        # survives if a VJP returned a view of it (alias escapes the tape)
+        # or it became a leaf ``.grad`` (ownership moves to the caller).
+        # In-place accumulation computes the same ``prev + contrib`` values,
+        # so the pass stays bit-identical with the arena on or off.
+        arena = _ws.open_arena()
+        try:
+            grads: dict[int, np.ndarray] = {id(self): grad}
+            for node in reversed(topo):
+                g = grads.pop(id(node), None)
+                if g is None:
+                    continue
+                if node._parents:
+                    g_escaped = False
+                    for parent, vjp in zip(node._parents, node._vjps):
+                        if vjp is None or not parent.requires_grad:
+                            continue
+                        contrib = vjp(g)
+                        if contrib is g or contrib.base is g:
+                            g_escaped = True
+                        key = id(parent)
+                        prev = grads.get(key)
+                        if prev is None:
+                            grads[key] = contrib
+                            continue
+                        mergeable = prev.shape == contrib.shape and prev.dtype == contrib.dtype
+                        if arena is not None and mergeable and arena.owns(prev) and prev is not g:
+                            np.add(prev, contrib, out=prev)
+                            if contrib is not g:
+                                arena.retire(contrib)
+                        elif arena is not None and mergeable:
+                            acc = arena.alloc(prev.shape, prev.dtype)
+                            np.add(prev, contrib, out=acc)
+                            grads[key] = acc
+                            if prev is not g:
+                                arena.retire(prev)
+                            if contrib is not g:
+                                arena.retire(contrib)
+                        else:
+                            grads[key] = prev + contrib
+                    if arena is not None:
+                        if g_escaped:
+                            arena.disown(g)
+                        else:
+                            arena.retire(g)
+                elif node.grad is None:
+                    node.grad = g
+                    if arena is not None:
+                        arena.disown(g)
+                else:
+                    node.grad = node.grad + g
+                    if arena is not None:
+                        arena.retire(g)
+        finally:
+            _ws.close_arena(arena)
         # Interior tensors that were targets of retained grads:
         # (we only keep leaf grads, matching torch defaults)
 
@@ -371,10 +419,13 @@ class Tensor:
         a = self.data
         mask = a > 0
         out = np.where(mask, a, negative_slope * a)
+        # np.where(mask, g, g * slope) rather than g * np.where(mask, 1, slope):
+        # identical floats (x * 1.0 == x), but the scalar operand stays weak
+        # so a float32 gradient is not promoted to float64.
         return Tensor._from_op(
             out,
             (self,),
-            (lambda g: g * np.where(mask, 1.0, negative_slope),),
+            (lambda g: np.where(mask, g, g * negative_slope),),
             "leaky_relu",
         )
 
@@ -415,10 +466,11 @@ class Tensor:
         def vjp(g: np.ndarray) -> np.ndarray:
             if axis is None:
                 mask = a == a.max()
-                return (g * mask / mask.sum()).astype(np.float64)
+                return (g * mask / mask.sum()).astype(a.dtype)
             out_keep = a.max(axis=axis, keepdims=True)
             mask = a == out_keep
-            counts = mask.sum(axis=axis, keepdims=True)
+            # int64 counts would promote a float32 gradient to float64.
+            counts = mask.sum(axis=axis, keepdims=True).astype(a.dtype)
             g_exp = g if keepdims else np.expand_dims(g, axis)
             return mask * (g_exp / counts)
 
@@ -460,7 +512,7 @@ class Tensor:
         shape = self.data.shape
 
         def vjp(g: np.ndarray) -> np.ndarray:
-            full = np.zeros(shape, dtype=np.float64)
+            full = _ws.grad_buffer(shape, g.dtype, zero=True)
             np.add.at(full, idx, g)
             return full
 

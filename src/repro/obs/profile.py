@@ -84,6 +84,8 @@ def run_profile(
     checkpoint_dir: Optional[str] = None,
     resume: bool = True,
     graph_dir: Optional[str] = None,
+    compute_dtype: str = "float64",
+    track_memory: bool = False,
 ) -> Dict[str, Any]:
     """Run the instrumented workload; return the JSON-ready report dict.
 
@@ -99,13 +101,24 @@ def run_profile(
     through :func:`repro.distributed.train_data_parallel` — as K worker
     processes when >= 2 usable cores are available, in-process (same
     numbers, no speedup) otherwise.
+
+    ``compute_dtype`` selects the precision policy for training, eval
+    and serving; the report's ``dtype`` section shows the active policy
+    and the workspace arena's pooling stats. With ``track_memory`` the
+    workload runs under :mod:`tracemalloc` and the ``memory`` section
+    adds per-leg Python allocation peaks (slower; the peak-RSS line is
+    reported regardless).
     """
     # Imports are deferred so ``import repro.obs`` stays lightweight.
     import os
+    import resource
+    import tracemalloc
 
     from repro import obs
     from repro.data.loader import usable_cores
     from repro.datasets import load_dataset
+    from repro.nn import dtype as nn_dtype
+    from repro.nn import workspace as nn_workspace
     from repro.store import has_task, load_task, save_task
     from repro.models import AMDGCNN
     from repro.seal import (
@@ -118,6 +131,19 @@ def run_profile(
     )
     from repro.serve import LinkScorer, ModelBundle, ScoringServer, ServeConfig
     from repro.utils.rng import derive
+
+    policy = nn_dtype.resolve_dtype(compute_dtype)
+    mem_phases: Dict[str, Dict[str, float]] = {}
+    if track_memory:
+        tracemalloc.start()
+
+    def mem_mark(leg: str) -> None:
+        """Record the Python-allocation peak since the previous mark."""
+        if not track_memory:
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        mem_phases[leg] = {"current_bytes": float(current), "peak_bytes": float(peak)}
+        tracemalloc.reset_peak()
 
     ckpt = (
         CheckpointConfig(dir=checkpoint_dir, every=1, resume=resume)
@@ -156,6 +182,7 @@ def run_profile(
             tr, te = train_test_split_indices(
                 task.num_links, 0.25, labels=task.labels, rng=derive(seed, "split")
             )
+        mem_mark("dataset")
         model = AMDGCNN(
             ds.feature_width,
             task.num_classes,
@@ -181,6 +208,7 @@ def run_profile(
                     num_workers=num_workers,
                     num_shards=shards,
                     processes=processes,
+                    compute_dtype=compute_dtype,
                 ),
                 eval_indices=te,
                 rng=derive(seed, "train"),
@@ -197,16 +225,22 @@ def run_profile(
                     batch_size=batch_size,
                     lr=3e-3,
                     num_workers=num_workers,
+                    compute_dtype=compute_dtype,
                 ),
                 eval_indices=te,
                 rng=derive(seed, "train"),
                 verbose=False,
                 checkpoint=ckpt,
             )
-        eval_result = evaluate(model, ds, te, num_workers=num_workers)
+        mem_mark("train")
+        with nn_dtype.compute_dtype(policy):
+            eval_result = evaluate(model, ds, te, num_workers=num_workers)
+        mem_mark("eval")
         # A taste of the deployment path: bundle the trained model and
         # serve a few coalesced requests through the scoring server.
-        bundle = ModelBundle.from_model(model, task, extraction_seed=seed)
+        bundle = ModelBundle.from_model(
+            model, task, extraction_seed=seed, compute_dtype=compute_dtype
+        )
         scorer = LinkScorer(bundle, task.graph, rng=derive(seed, "inference"))
         with ScoringServer(scorer, ServeConfig(max_queue_depth=16)) as server:
             futures = [server.submit(task.pairs[i : i + 2]) for i in range(0, 8, 2)]
@@ -214,6 +248,7 @@ def run_profile(
                 fut.result(timeout=60)
             # One replayed request to exercise the score cache.
             server.request(task.pairs[:2], timeout=60)
+        mem_mark("serve")
         cache = ds.cache_info()
 
     leaf_totals = registry.leaf_totals()
@@ -350,6 +385,22 @@ def run_profile(
             "count": shard_step_hist.count if shard_step_hist else 0,
         },
     }
+    ws_stats = nn_workspace.global_workspace().stats()
+    dtype_report = {
+        "compute_dtype": str(policy),
+        "master_weights": policy != nn_dtype.FLOAT64,
+        "workspace": ws_stats,
+    }
+    if track_memory:
+        tracemalloc.stop()
+    memory_report = {
+        "tracked": track_memory,
+        # ru_maxrss is KiB on Linux: lifetime peak resident set of the
+        # whole process (both dtype policies of a back-to-back comparison
+        # must therefore run in separate processes).
+        "peak_rss_bytes": float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024.0,
+        "phases": mem_phases,
+    }
     write_hist = registry.histograms.get("checkpoint.write_seconds")
     checkpoint_report = {
         "enabled": ckpt is not None,
@@ -403,6 +454,8 @@ def run_profile(
         "store": store_report,
         "distributed": distributed_report,
         "checkpoint": checkpoint_report,
+        "dtype": dtype_report,
+        "memory": memory_report,
         "counters": counters,
         "snapshot": registry.snapshot(),
     }
@@ -457,6 +510,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run against the saved task in DIR (mmap-backed); generates and "
         "saves it there on first use instead of regenerating every run",
     )
+    parser.add_argument(
+        "--compute-dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="precision policy for the training/eval/serve legs "
+        "(float32 = reduced tape with float64 master weights)",
+    )
+    parser.add_argument(
+        "--mem",
+        action="store_true",
+        help="trace Python allocations per leg with tracemalloc (slower); "
+        "peak RSS is reported either way",
+    )
     parser.add_argument("--json", metavar="PATH", help="also write the report to PATH")
     parser.add_argument(
         "--csv", metavar="PATH", help="also write the metrics snapshot as CSV to PATH"
@@ -475,6 +541,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         graph_dir=args.graph_dir,
+        compute_dtype=args.compute_dtype,
+        track_memory=args.mem,
     )
     if args.smoke:
         kwargs.update(scale=0.12, num_targets=40, epochs=1, batch_size=8)

@@ -45,6 +45,7 @@ import numpy as np
 from repro import obs
 from repro.data.loader import DataLoader
 from repro.data.samplers import Sampler
+from repro.nn.dtype import FLOAT64, cast_module, compute_dtype, resolve_dtype
 from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
 from repro.nn.optim import Adam, clip_grad_norm
@@ -108,6 +109,12 @@ class TrainConfig:
     #: abort with NonFiniteLossError after this many *consecutive*
     #: optimizer steps skipped by the non-finite loss/gradient guard
     max_nonfinite_steps: int = 5
+    #: compute-dtype policy for forward/backward ("float64" or "float32").
+    #: "float32" casts the model's working copies down and activates the
+    #: reduced-precision tape; Adam keeps float64 master weights, so
+    #: checkpoints stay lossless. The default is bit-identical to the
+    #: pre-policy trainer.
+    compute_dtype: str = "float64"
 
 
 class _EpochCallbackAdapter:
@@ -239,6 +246,7 @@ def _snapshot(
             "batch_size": config.batch_size,
             "lr": config.lr,
             "weight_decay": config.weight_decay,
+            "compute_dtype": config.compute_dtype,
         },
     )
 
@@ -288,7 +296,48 @@ def train(
         ``checkpoint.resume`` is off — an existing bundle is restored
         and training continues from it, bit-identical to an
         uninterrupted run.
+
+    ``config.compute_dtype`` selects the precision policy for the whole
+    run: ``"float32"`` casts the model down and runs forward, backward
+    and evaluation under the reduced tape (Adam holds float64 masters;
+    resuming re-syncs parameters from them, so a checkpoint taken under
+    one policy restores losslessly under another). ``"float64"`` (the
+    default) is bit-identical to the pre-policy trainer.
     """
+    policy = resolve_dtype(config.compute_dtype)
+    if policy != FLOAT64:
+        cast_module(model, policy)
+    with compute_dtype(policy):
+        return _train_impl(
+            model,
+            dataset,
+            train_indices,
+            config,
+            eval_indices=eval_indices,
+            rng=rng,
+            sampler=sampler,
+            callbacks=callbacks,
+            verbose=verbose,
+            epoch_callback=epoch_callback,
+            checkpoint=checkpoint,
+        )
+
+
+def _train_impl(
+    model: Module,
+    dataset: SEALDataset,
+    train_indices: Sequence[int],
+    config: TrainConfig,
+    *,
+    eval_indices: Optional[Sequence[int]],
+    rng: RngLike,
+    sampler: Optional[Sampler],
+    callbacks: Optional[Iterable[TrainingLogger]],
+    verbose: Union[bool, None],
+    epoch_callback: Optional[Callable[[int, TrainResult], None]],
+    checkpoint: Optional[CheckpointConfig],
+) -> TrainResult:
+    """Training loop body; runs under the already-active dtype policy."""
     if config.epochs <= 0:
         raise ValueError("epochs must be positive")
     if config.max_nonfinite_steps < 1:
@@ -326,6 +375,11 @@ def train(
         start_epoch = ck.epoch
         last_written = ck.epoch
         snapshot = ck
+        # A bundle saved under a reduced policy stores reduced working
+        # copies in model_state but lossless float64 masters in the
+        # optimizer state — restore parameters from the masters so a
+        # policy change between save and resume loses nothing.
+        optimizer.sync_master_params()
 
     model.train()
 

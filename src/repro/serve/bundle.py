@@ -127,6 +127,9 @@ class ModelBundle:
         extraction settings of the training task.
     extraction_seed: seed material for the per-pair extraction streams.
     task_name: dataset name baked into the extraction stream key.
+    compute_dtype: precision policy the scorer should serve under
+        (``"float64"`` or ``"float32"``). Recorded at save time; bundles
+        written before the policy existed load as ``"float64"``.
     """
 
     model_class: str
@@ -141,6 +144,7 @@ class ModelBundle:
     edge_attr_dim: int = 0
     extraction_seed: int = 0
     task_name: str = "serve"
+    compute_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.model_class not in _CAPTURE:
@@ -165,6 +169,12 @@ class ModelBundle:
                 f"model input width {self.model_kwargs.get('in_dim')} != "
                 f"feature config width {self.feature_config.width}"
             )
+        from repro.nn.dtype import resolve_dtype
+
+        try:
+            resolve_dtype(self.compute_dtype)
+        except ValueError as exc:
+            raise BundleError(str(exc))
 
     # ------------------------------------------------------------------ #
     # construction from a live model
@@ -183,6 +193,7 @@ class ModelBundle:
         edge_attr_dim: Optional[int] = None,
         extraction_seed: int = 0,
         task_name: Optional[str] = None,
+        compute_dtype: str = "float64",
     ) -> "ModelBundle":
         """Capture ``model`` (and optionally its training ``task``) as a bundle.
 
@@ -232,6 +243,7 @@ class ModelBundle:
             edge_attr_dim=edge_attr_dim if edge_attr_dim is not None else defaults["edge_attr_dim"],
             extraction_seed=extraction_seed,
             task_name=task_name if task_name is not None else defaults["task_name"],
+            compute_dtype=compute_dtype,
         )
 
     def build_model(self) -> Module:
@@ -283,6 +295,7 @@ class ModelBundle:
                 "seed": self.extraction_seed,
                 "task_name": self.task_name,
             },
+            "compute_dtype": self.compute_dtype,
         }
         return write_meta_npz(path, arrays, meta)
 
@@ -330,4 +343,6 @@ class ModelBundle:
             edge_attr_dim=int(ext["edge_attr_dim"]),
             extraction_seed=int(ext["seed"]),
             task_name=ext["task_name"],
+            # Bundles written before the dtype policy load as float64.
+            compute_dtype=str(meta.get("compute_dtype", "float64")),
         )

@@ -37,6 +37,7 @@ from repro import obs
 from repro.data.loader import collate_from_store
 from repro.data.store import SubgraphStore
 from repro.graph.structure import Graph
+from repro.nn import dtype as _dtype
 from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.nn.tensor import no_grad
@@ -234,6 +235,10 @@ class LinkScorer:
         what makes scores bitwise independent of request coalescing.
     cache_scores: memoize probabilities per ``(pair, graph_version)``.
     rng: override for the bundle's extraction seed (``None`` = bundle's).
+    compute_dtype: precision policy for extraction + forward passes
+        (``None`` = the bundle's recorded policy). Under ``"float32"``
+        the model weights, the subgraph store and every forward run
+        reduced; returned probabilities are always float64.
     """
 
     def __init__(
@@ -246,6 +251,7 @@ class LinkScorer:
         cache_scores: bool = True,
         initial_capacity: int = 256,
         rng: Optional[RngLike] = None,
+        compute_dtype: Optional[str] = None,
     ):
         if micro_batch < 2:
             # A 1-row forward takes BLAS's gemv path, which rounds
@@ -255,7 +261,12 @@ class LinkScorer:
         _validate_compatibility(bundle, graph)
         self.bundle = bundle
         self.graph = graph
+        self.compute_dtype = _dtype.resolve_dtype(
+            bundle.compute_dtype if compute_dtype is None else compute_dtype
+        )
         self.model = bundle.build_model() if model is None else model
+        if self.compute_dtype != _dtype.FLOAT64:
+            _dtype.cast_module(self.model, self.compute_dtype)
         head = int(self.model.lin2.out_features)
         if head != bundle.num_classes:
             raise CompatibilityError(
@@ -276,6 +287,7 @@ class LinkScorer:
             node_feature_dim=(
                 0 if graph.node_features is None else graph.node_features.shape[1]
             ),
+            float_dtype=self.compute_dtype,
         )
         self._slots: Dict[Tuple[int, int], int] = {}
         self._cache: Dict[Tuple[int, int], np.ndarray] = {}
@@ -372,7 +384,7 @@ class LinkScorer:
         from repro.data.extraction import build_packed_samples
 
         obs.count("seal.cache.misses", float(missing.size))
-        with obs.trace("extraction"):
+        with obs.trace("extraction"), _dtype.compute_dtype(self.compute_dtype):
             samples = build_packed_samples(self._task, self._seed, missing)
         for sample in samples:
             self.store.put(sample)
@@ -388,9 +400,10 @@ class LinkScorer:
         exactly ``micro_batch`` graph rows regardless of load.
         """
         B = self.micro_batch
-        out = np.empty((len(slots), self.bundle.num_classes), dtype=np.float64)
+        # Probabilities ship to callers in float64 regardless of policy.
+        out = np.empty((len(slots), self.bundle.num_classes), dtype=_dtype.FLOAT64)
         edge_dim = self.bundle.edge_attr_dim
-        with no_grad():
+        with no_grad(), _dtype.compute_dtype(self.compute_dtype):
             for lo in range(0, len(slots), B):
                 chunk = slots[lo : lo + B]
                 reps = -(-B // len(chunk))  # ceil
@@ -449,7 +462,7 @@ class LinkScorer:
             self.model.train(was_training)
 
         fresh_set = set(fresh)
-        probs = np.empty((len(keys), self.bundle.num_classes), dtype=np.float64)
+        probs = np.empty((len(keys), self.bundle.num_classes), dtype=_dtype.FLOAT64)
         cached = np.empty(len(keys), dtype=bool)
         num_nodes = np.empty(len(keys), dtype=np.int64)
         num_edges = np.empty(len(keys), dtype=np.int64)

@@ -33,15 +33,27 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import obs
+from repro.nn.dtype import FLOAT32, FLOAT64
 
 __all__ = ["SampleRing"]
 
 _I64 = np.dtype(np.int64)
-_F64 = np.dtype(np.float64)
+_FLOAT_BY_ITEMSIZE = {4: np.dtype(FLOAT32), 8: np.dtype(FLOAT64)}
 
 #: header = (num_samples, total_nodes, total_edges,
-#:           feature_dim, node_feature_dim, edge_attr_dim)
-Header = Tuple[int, int, int, int, int, int]
+#:           feature_dim, node_feature_dim, edge_attr_dim, float_itemsize)
+#:
+#: ``float_itemsize`` (4 or 8) is the byte width of the float-valued
+#: blocks, so a float32 store ships half the bytes per batch. Legacy
+#: 6-tuple headers (implicitly float64) are still accepted on read.
+Header = Tuple[int, int, int, int, int, int, int]
+
+
+def _normalize_header(header) -> Header:
+    """Fill in the float itemsize for pre-dtype 6-tuple headers."""
+    if len(header) == 6:
+        return (*header, 8)
+    return tuple(header)
 
 
 class SampleRing:
@@ -132,25 +144,28 @@ class SampleRing:
     @staticmethod
     def required_bytes(header: Header) -> int:
         """Bytes a batch with this header occupies in a slot."""
-        s, tn, te, f, nf, ea = header
-        cells = 3 * s + tn + 3 * te + tn * f + tn * nf + te * ea
-        return 8 * cells
+        s, tn, te, f, nf, ea, isz = _normalize_header(header)
+        int_cells = 3 * s + tn + 3 * te
+        float_cells = tn * f + tn * nf + te * ea
+        return 8 * int_cells + isz * float_cells
 
     def _views(self, slot: int, header: Header) -> Dict[str, np.ndarray]:
         """Typed array views over one slot, in the fixed block order.
 
         Used identically by the writing worker and the reading parent,
-        so the layout cannot skew between the two sides. All blocks use
-        8-byte dtypes; offsets stay aligned by construction.
+        so the layout cannot skew between the two sides. The 8-byte int
+        blocks come first, then the float blocks at the header's
+        itemsize; offsets stay aligned by construction.
         """
-        s, tn, te, f, nf, ea = header
+        s, tn, te, f, nf, ea, isz = _normalize_header(header)
+        fdt = _FLOAT_BY_ITEMSIZE[isz]
         buf = self._shm.buf
         off = slot * self.slot_bytes
 
         def take(count: int, dtype, shape) -> np.ndarray:
             nonlocal off
             arr = np.frombuffer(buf, dtype=dtype, count=count, offset=off)
-            off += count * 8
+            off += count * dtype.itemsize
             return arr.reshape(shape)
 
         return {
@@ -160,9 +175,9 @@ class SampleRing:
             "node_type": take(tn, _I64, (tn,)),
             "edge_index": take(2 * te, _I64, (2, te)),
             "edge_type": take(te, _I64, (te,)),
-            "features": take(tn * f, _F64, (tn, f)),
-            "node_features": take(tn * nf, _F64, (tn, nf)),
-            "edge_attr": take(te * ea, _F64, (te, ea)),
+            "features": take(tn * f, fdt, (tn, f)),
+            "node_features": take(tn * nf, fdt, (tn, nf)),
+            "edge_attr": take(te * ea, fdt, (te, ea)),
         }
 
     def write(self, slot: int, samples) -> Optional[Header]:
@@ -179,7 +194,10 @@ class SampleRing:
         f = int(first.features.shape[1])
         nf = 0 if first.node_features is None else int(first.node_features.shape[1])
         ea = 0 if first.edge_attr is None else int(first.edge_attr.shape[1])
-        header: Header = (s, tn, te, f, nf, ea)
+        # Ship floats at the samples' own width; non-float features (never
+        # produced by the extractors) would fall back to 8-byte blocks.
+        isz = first.features.dtype.itemsize if first.features.dtype.kind == "f" else 8
+        header: Header = (s, tn, te, f, nf, ea, isz)
         if self.required_bytes(header) > self.slot_bytes:
             return None
         views = self._views(slot, header)
@@ -209,7 +227,7 @@ class SampleRing:
         """
         from repro.data.store import PackedSubgraph
 
-        s, _, _, _, nf, ea = header
+        s, _, _, _, nf, ea, _ = _normalize_header(header)
         views = self._views(slot, header)
         samples = []
         no = eo = 0

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn.dtype import FLOAT64
 from scipy.stats import norm
 
 __all__ = ["expected_improvement", "upper_confidence_bound"]
@@ -18,8 +20,8 @@ def expected_improvement(
 
     Zero where ``std`` vanishes (already-observed points).
     """
-    mean = np.asarray(mean, dtype=np.float64)
-    std = np.asarray(std, dtype=np.float64)
+    mean = np.asarray(mean, dtype=FLOAT64)
+    std = np.asarray(std, dtype=FLOAT64)
     improve = mean - best - xi
     with np.errstate(divide="ignore", invalid="ignore"):
         z = np.where(std > 0, improve / std, 0.0)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.nn.dtype import FLOAT64
 from scipy.linalg import cho_factor, cho_solve
 
 __all__ = ["rbf_kernel", "matern52_kernel", "GaussianProcess"]
@@ -69,8 +71,8 @@ class GaussianProcess:
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
         """Fit on observations (targets standardized internally)."""
-        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
-        y = np.asarray(y, dtype=np.float64).ravel()
+        x = np.atleast_2d(np.asarray(x, dtype=FLOAT64))
+        y = np.asarray(y, dtype=FLOAT64).ravel()
         if len(x) != len(y):
             raise ValueError("x and y must have equal length")
         if len(x) == 0:
@@ -101,7 +103,7 @@ class GaussianProcess:
         """Posterior mean and standard deviation at ``x_new``."""
         if self._x is None:
             raise RuntimeError("GP is not fitted")
-        x_new = np.atleast_2d(np.asarray(x_new, dtype=np.float64))
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=FLOAT64))
         k_star = self._kfn(x_new, self._x, self.length_scale)
         mean = k_star @ self._alpha
         v = cho_solve(self._chol, k_star.T)

@@ -17,6 +17,8 @@ from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.dtype import FLOAT64
+
 from repro.utils.rng import RngLike, ensure_rng
 
 __all__ = ["Real", "Integer", "Choice", "SearchSpace", "paper_table1_space"]
@@ -147,7 +149,7 @@ class SearchSpace:
 
     def decode(self, vec: np.ndarray) -> Dict[str, Value]:
         """Decode a continuous vector back to a configuration."""
-        vec = np.asarray(vec, dtype=np.float64)
+        vec = np.asarray(vec, dtype=FLOAT64)
         if vec.shape != (self.encoded_width,):
             raise ValueError("encoded vector has wrong width")
         out: Dict[str, Value] = {}

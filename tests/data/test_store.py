@@ -126,3 +126,58 @@ class TestMemoryAccounting:
         assert (info.plans, info.plan_hits, info.plan_misses) == (0, 0, 0)
         # A post-clear lookup must miss — never serve the pre-clear plan.
         assert store.plan_lookup(b"batch-key") is None
+
+
+class TestFloatDtype:
+    """The store's float buffers follow the compute-dtype policy."""
+
+    def test_default_follows_active_policy(self):
+        from repro.nn.dtype import compute_dtype
+
+        assert SubgraphStore(2, 4).float_dtype == np.dtype("float64")
+        with compute_dtype("float32"):
+            store = SubgraphStore(2, 4, edge_attr_dim=2)
+        assert store.float_dtype == np.dtype("float32")
+        assert store.features.dtype == np.dtype("float32")
+        assert store.edge_attr.dtype == np.dtype("float32")
+
+    def test_explicit_override_beats_policy(self):
+        store = SubgraphStore(2, 4, float_dtype="float32")
+        assert store.features.dtype == np.dtype("float32")
+
+    def test_put_get_roundtrip_at_float32(self):
+        store = SubgraphStore(4, 4, edge_attr_dim=3, float_dtype="float32")
+        s = make_sample(1, 6, 10, edge_attr_dim=3)
+        store.put(s)
+        out = store.get(1)
+        assert out.features.dtype == np.dtype("float32")
+        np.testing.assert_allclose(out.features, s.features, rtol=1e-6, atol=1e-7)
+
+    def test_nbytes_reports_actual_dtype_sizes(self):
+        """A float32 store's float payload is half the float64 one —
+        cache_info must report real per-array sizes, not assume 8 bytes."""
+
+        def build(dtype):
+            store = SubgraphStore(
+                8, 4, edge_attr_dim=3, node_feature_dim=2, float_dtype=dtype
+            )
+            for i in range(8):
+                store.put(make_sample(i, 50, 120, edge_attr_dim=3, node_feature_dim=2))
+            return store
+
+        s64, s32 = build("float64"), build("float32")
+        float_arrays = ("features", "edge_attr", "node_features")
+        for name in float_arrays:
+            assert getattr(s32, name).nbytes * 2 == getattr(s64, name).nbytes
+        float64_payload = sum(getattr(s64, n).nbytes for n in float_arrays)
+        assert s64.cache_info().nbytes - s32.cache_info().nbytes == float64_payload // 2
+        # and the report is exactly the sum of the live buffers
+        expected = sum(
+            arr.nbytes
+            for arr in (
+                s32.node_start, s32.node_count, s32.edge_start, s32.edge_count,
+                s32.features, s32.node_type, s32.edge_index, s32.edge_type,
+                s32.edge_attr, s32.node_features,
+            )
+        )
+        assert s32.cache_info().nbytes == expected

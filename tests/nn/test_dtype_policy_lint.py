@@ -1,0 +1,42 @@
+"""Tier-1 wiring of the ``np.float64``-literal lint.
+
+Collecting the lint as a test means a policy leak (a hard-pinned
+float64 allocation sneaking into a compute path) fails CI with the
+exact ``path:line`` list, not just a benchmark regression later.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "check_dtype_policy.py"
+
+
+def _load_lint():
+    spec = importlib.util.spec_from_file_location("check_dtype_policy", SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_dtype_policy", mod)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_no_float64_literals_outside_sanctioned_modules():
+    lint = _load_lint()
+    violations = lint.find_violations()
+    assert violations == [], "np.float64 literals outside sanctioned modules:\n" + "\n".join(
+        f"src/repro/{rel}:{lineno}: {text}" for rel, lineno, text in violations
+    )
+
+
+def test_sanctioned_set_is_minimal():
+    # Every sanctioned module must still exist (a rename would silently
+    # widen the lint's blind spot).
+    lint = _load_lint()
+    for rel in lint.SANCTIONED:
+        assert (lint.SRC_ROOT / rel).is_file(), f"sanctioned module missing: {rel}"
+
+
+def test_lint_main_is_clean():
+    lint = _load_lint()
+    assert lint.main() == 0

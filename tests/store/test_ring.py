@@ -88,11 +88,14 @@ class TestSlots:
     def test_required_bytes_matches_layout(self, ring):
         samples = [make_sample(i, 5, 8, edge_attr_dim=2) for i in range(3)]
         header = ring.write(ring.acquire(), samples)
-        s, tn, te, f, nf, ea = header
+        s, tn, te, f, nf, ea, isz = header
         assert (s, tn, te) == (3, 15, 24)
         assert (f, nf, ea) == (4, 0, 2)
-        expected = 8 * (3 * s + tn + 3 * te + tn * f + tn * nf + te * ea)
+        assert isz == 8  # float64 samples ship 8-byte float blocks
+        expected = 8 * (3 * s + tn + 3 * te) + isz * (tn * f + tn * nf + te * ea)
         assert SampleRing.required_bytes(header) == expected
+        # Legacy 6-tuple headers read as float64.
+        assert SampleRing.required_bytes(header[:6]) == expected
 
     def test_create_validates_geometry(self):
         with pytest.raises(ValueError):
