@@ -278,3 +278,50 @@ def test_dtype_gate_fails_on_missing_group(tmp_path):
     out = io.StringIO()
     assert check_bench.check_dtype(partial, min_speedup=1.4, out=out) == 1
     assert "no usable train_epoch" in out.getvalue()
+
+
+STREAM_RESULTS = (
+    Path(__file__).resolve().parent.parent / "results" / "BENCH_stream.json"
+)
+
+
+@pytest.mark.bench_gate
+def test_streaming_speedups_have_not_regressed():
+    if not STREAM_RESULTS.exists():
+        pytest.skip("no BENCH_stream.json yet — run the stream microbenchmark")
+    out = io.StringIO()
+    status = check_bench.check_stream(
+        STREAM_RESULTS, min_delta_speedup=3.0, min_geomean=1.0, out=out
+    )
+    print(out.getvalue())
+    assert status == 0, out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_stream_gate_judges_each_group_separately(tmp_path):
+    """A huge snapshot win must not rescue delta rescoring falling
+    under its 3x acceptance bar."""
+    bad = tmp_path / "BENCH_stream.json"
+    bad.write_text(
+        '[{"benchmark": "stream", "unix_time": 0, "records": ['
+        '{"kernel": "delta_rescoring", "working_set": 64, "speedup": 2.0},'
+        '{"kernel": "snapshot_apply", "events": 600, "speedup": 10.0}'
+        "]}]"
+    )
+    out = io.StringIO()
+    assert check_bench.check_stream(bad, min_delta_speedup=3.0, out=out) == 1
+    assert "delta_rescoring" in out.getvalue() and "FAIL" in out.getvalue()
+
+
+@pytest.mark.bench_gate
+def test_stream_gate_fails_on_missing_group(tmp_path):
+    """A run that recorded only one kernel is broken history, not a pass."""
+    partial = tmp_path / "BENCH_stream.json"
+    partial.write_text(
+        '[{"benchmark": "stream", "unix_time": 0, "records": ['
+        '{"kernel": "delta_rescoring", "working_set": 64, "speedup": 4.5}'
+        "]}]"
+    )
+    out = io.StringIO()
+    assert check_bench.check_stream(partial, out=out) == 1
+    assert "no usable snapshot_apply" in out.getvalue()

@@ -27,6 +27,13 @@ Two suites, each judging the latest run of its history file:
   single-core-recorded ``parallel_loader`` record is stale data from
   before that policy and fails the gate until the history is
   refreshed.
+* ``stream`` — ``results/BENCH_stream.json`` (appended by
+  ``benchmarks/test_microbench_stream.py``): judged per kernel group —
+  ``delta_rescoring`` (re-scoring a warm working set after a small
+  graph delta with delta-aware invalidation vs a full cache clear) must
+  stay >= its floor (default 3.0x, the acceptance bar), and
+  ``snapshot_apply`` (incremental CSR snapshots vs rebuilding the graph
+  per window) must never lose (>= 1.0x).
 * ``dtype`` — ``results/BENCH_dtype.json`` (appended by
   ``benchmarks/test_microbench_dtype.py``): the float32 compute-dtype
   policy must beat the float64 default by >= the threshold (default
@@ -46,9 +53,10 @@ when they *record* a run; the gate only guards against net regressions.
 
 Usage:
     python scripts/check_bench.py
-        [--suite kernels|extraction|serve|scale|distributed|dtype|all]
+        [--suite kernels|extraction|serve|scale|distributed|dtype|stream|all]
         [--results PATH] [--min-geomean 1.0] [--min-edges 10000]
         [--min-speedup 1.5] [--min-dtype-speedup 1.4]
+        [--min-stream-speedup 3.0]
 
 Wired into pytest as the opt-in ``bench_gate`` marker
 (``benchmarks/test_bench_gate.py``); tier-1 never touches it.
@@ -69,6 +77,7 @@ DEFAULT_SERVE_RESULTS = _RESULTS_DIR / "BENCH_serve.json"
 DEFAULT_SCALE_RESULTS = _RESULTS_DIR / "BENCH_scale.json"
 DEFAULT_DISTRIBUTED_RESULTS = _RESULTS_DIR / "BENCH_distributed.json"
 DEFAULT_DTYPE_RESULTS = _RESULTS_DIR / "BENCH_dtype.json"
+DEFAULT_STREAM_RESULTS = _RESULTS_DIR / "BENCH_stream.json"
 
 #: Kernel groups the dtype gate judges — each must clear the floor alone.
 DTYPE_GATE_KERNELS = ("gat_fwd_bwd", "train_epoch")
@@ -386,13 +395,75 @@ def check_dtype(results_path, *, min_speedup=1.4, out=sys.stdout):
     return status
 
 
+def check_stream(results_path, *, min_delta_speedup=3.0, min_geomean=1.0,
+                 out=sys.stdout):
+    """Stream gate: per kernel group, like the dtype gate.
+
+    ``delta_rescoring`` carries the acceptance bar (delta-aware
+    invalidation must stay >= ``min_delta_speedup`` over the full
+    clear); ``snapshot_apply`` only has to never lose to the per-window
+    rebuild (>= ``min_geomean``). Returns 0 on pass, 1 on fail (or data
+    missing).
+    """
+    path = Path(results_path)
+    if not path.exists():
+        print(f"check_bench: {path} not found — run the stream "
+              "microbenchmark first", file=out)
+        return 1
+    try:
+        history = json.loads(path.read_text())
+        if not history:
+            raise ValueError("benchmark history is empty")
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"check_bench: unusable benchmark data: {exc}", file=out)
+        return 1
+    latest = history[-1]
+    stamp = latest.get("unix_time", "?")
+    status = 0
+    for kernel, floor in (
+        ("delta_rescoring", min_delta_speedup),
+        ("snapshot_apply", min_geomean),
+    ):
+        records = [r for r in latest.get("records", []) if r.get("kernel") == kernel]
+        speedups, skipped = _usable_speedups(records)
+        if not speedups:
+            print(
+                f"check_bench: FAIL — run@{stamp} has no usable {kernel} "
+                f"records ({skipped} null-speedup records skipped); rerun "
+                "the stream microbenchmark", file=out,
+            )
+            status = 1
+            continue
+        gm = geomean(speedups)
+        print(
+            f"check_bench: run@{stamp}: geomean {kernel} speedup "
+            f"{gm:.2f}x over {len(speedups)} records {sorted(speedups)}",
+            file=out,
+        )
+        if skipped:
+            print(
+                f"check_bench: WARNING — skipped {skipped} {kernel} record(s) "
+                "with null (non-finite) speedup; rerun the microbenchmark",
+                file=out,
+            )
+        if gm < floor:
+            print(
+                f"check_bench: FAIL — geomean {gm:.2f}x below the "
+                f"{floor:.2f}x floor: {kernel} regressed", file=out,
+            )
+            status = 1
+    if status == 0:
+        print("check_bench: OK", file=out)
+    return status
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
         choices=(
             "kernels", "extraction", "serve", "scale", "distributed",
-            "dtype", "all",
+            "dtype", "stream", "all",
         ),
         default="kernels",
     )
@@ -408,6 +479,11 @@ def main(argv=None):
         "--min-dtype-speedup", type=float, default=1.4,
         help="dtype suite: floor on the float32-over-float64 geomean, "
              "enforced per kernel group (gat_fwd_bwd and train_epoch)",
+    )
+    parser.add_argument(
+        "--min-stream-speedup", type=float, default=3.0,
+        help="stream suite: floor on delta-aware rescoring over the full "
+             "cache clear (snapshot_apply uses --min-geomean)",
     )
     args = parser.parse_args(argv)
 
@@ -447,6 +523,13 @@ def main(argv=None):
             args.results if args.suite == "dtype" and args.results
             else DEFAULT_DTYPE_RESULTS,
             min_speedup=args.min_dtype_speedup,
+        )
+    if args.suite in ("stream", "all"):
+        status |= check_stream(
+            args.results if args.suite == "stream" and args.results
+            else DEFAULT_STREAM_RESULTS,
+            min_delta_speedup=args.min_stream_speedup,
+            min_geomean=args.min_geomean,
         )
     return status
 

@@ -8,6 +8,7 @@ Commands
 ``datasets`` — print Table II schema/stat summary
 ``profile``  — run an instrumented end-to-end workload, emit phase times
 ``serve``    — replay a concurrent workload through the scoring server
+``stream``   — prequential evaluation over a temporal event stream
 ``version``  — print the package version
 """
 
@@ -53,6 +54,10 @@ def main(argv=None) -> int:
         from repro.serve.replay import main as run_serve_cli
 
         return run_serve_cli(rest)
+    if command == "stream":
+        from repro.stream.cli import main as run_stream_cli
+
+        return run_stream_cli(rest)
     if command == "datasets":
         from repro.datasets import PAPER_SCHEMAS, dataset_names, load_dataset
         from repro.experiments.report import render_table

@@ -165,12 +165,16 @@ def collate_from_store(
             no += nc
             eo += ec
 
-        # The store is append-only, so the same link indices always
-        # collate to array-identical batches: segment plans built for one
-        # epoch's batch are valid for every later epoch's. The PlanCache
-        # itself is lazy — a cache miss costs only the (cheap) shell; the
-        # argsorts happen on first use inside the model.
-        key = indices.tobytes()
+        # The store is append-only within a generation, so the same link
+        # indices always collate to array-identical batches: segment
+        # plans built for one epoch's batch are valid for every later
+        # epoch's. The generation salt keeps plans from surviving a
+        # clear()/evict(), after which the same indices may name
+        # different subgraphs (e.g. re-extracted against a newer
+        # streaming snapshot). The PlanCache itself is lazy — a cache
+        # miss costs only the (cheap) shell; the argsorts happen on
+        # first use inside the model.
+        key = store.plan_salt + indices.tobytes()
         plans = store.plan_lookup(key)
         if plans is None:
             plans = PlanCache(

@@ -61,6 +61,9 @@ class StoreInfo(NamedTuple):
     plans: int = 0  # batch-composition plan caches retained (LRU-bounded)
     plan_hits: int = 0  # plan-cache lookups answered (reset by clear())
     plan_misses: int = 0  # plan-cache lookups missed (reset by clear())
+    generation: int = 0  # bumped by clear()/evict(); salts plan-cache keys
+    lifetime_plan_hits: int = 0  # monotone across clear()/evict()
+    lifetime_plan_misses: int = 0  # monotone across clear()/evict()
 
 
 class SubgraphStore:
@@ -108,6 +111,17 @@ class SubgraphStore:
         self._plan_cache: "OrderedDict[bytes, PlanCache]" = OrderedDict()
         self._plan_hits = 0
         self._plan_misses = 0
+        # Lifetime counters survive clear()/evict() so downstream hit
+        # rates derived from StoreInfo never go backwards; the
+        # per-generation pair above describes the current graph only.
+        self._lifetime_plan_hits = 0
+        self._lifetime_plan_misses = 0
+        # Generation stamp: bumped whenever stored content is dropped or
+        # retired, so the same link indices can name different subgraphs
+        # across generations. Collation salts plan-cache keys with it
+        # (see plan_salt), which is how streaming snapshot versions
+        # thread into the plan cache.
+        self.generation = 0
         self._init_buffers()
 
     def _init_buffers(self) -> None:
@@ -147,9 +161,21 @@ class SubgraphStore:
         if plans is not None:
             self._plan_cache.move_to_end(key)
             self._plan_hits += 1
+            self._lifetime_plan_hits += 1
         else:
             self._plan_misses += 1
+            self._lifetime_plan_misses += 1
         return plans
+
+    @property
+    def plan_salt(self) -> bytes:
+        """Generation prefix for plan-cache keys.
+
+        Prepending this to the batch-composition bytes guarantees a plan
+        cached before a clear()/evict() can never be confused with one
+        for the same indices after the store's contents changed.
+        """
+        return self.generation.to_bytes(8, "little")
 
     def plan_store(self, key: bytes, plans: "PlanCache") -> None:
         """Retain ``plans`` for reuse by later batches with the same key."""
@@ -269,13 +295,49 @@ class SubgraphStore:
         the new layout with the old plan's segment structure. The serve
         path relies on this: :meth:`LinkScorer.invalidate` clears the
         store when the graph changes, and stale plans must go with it.
-        ``StoreInfo``'s plan hit/miss counters reset too, so post-clear
-        hit rates describe the current graph only.
+        ``StoreInfo``'s per-generation plan hit/miss counters reset too,
+        so post-clear hit rates describe the current graph only; the
+        ``lifetime_plan_*`` counters keep counting across clears.
         """
         self._init_buffers()
         self._plan_cache.clear()
         self._plan_hits = 0
         self._plan_misses = 0
+        self.generation += 1
+
+    def evict(self, indices: Sequence[int]) -> int:
+        """Retire individual links, keeping everything else resident.
+
+        The named entries become absent (``missing()`` reports them,
+        ``get()`` raises) while every other link keeps its packed slice.
+        Packed node/edge rows of evicted entries are *not* reclaimed —
+        the store is append-only and the space is recovered at the next
+        :meth:`clear` — so eviction is O(len(indices)) and never moves
+        surviving data. The generation stamp is bumped (invalidating
+        salted plan keys that might include an evicted slot) and the plan
+        LRU is dropped, mirroring :meth:`clear`'s staleness rule.
+
+        Returns the number of entries actually evicted.
+        """
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        if indices.size == 0:
+            return 0
+        if indices.size and (indices.min() < 0 or indices.max() >= self.capacity):
+            raise IndexError("evict index outside store capacity")
+        present = indices[self.node_start[indices] >= 0]
+        evicted = int(np.unique(present).size)
+        if evicted == 0:
+            return 0
+        self.node_start[present] = -1
+        self.node_count[present] = 0
+        self.edge_start[present] = -1
+        self.edge_count[present] = 0
+        self._entries -= evicted
+        self._plan_cache.clear()
+        self._plan_hits = 0
+        self._plan_misses = 0
+        self.generation += 1
+        return evicted
 
     # ------------------------------------------------------------------ #
     # reads
@@ -323,4 +385,7 @@ class SubgraphStore:
             plans=len(self._plan_cache),
             plan_hits=self._plan_hits,
             plan_misses=self._plan_misses,
+            generation=self.generation,
+            lifetime_plan_hits=self._lifetime_plan_hits,
+            lifetime_plan_misses=self._lifetime_plan_misses,
         )

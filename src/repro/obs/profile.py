@@ -27,7 +27,11 @@ through the per-link fallback, and the subgraph-store warm-hit rate;
 ``serve`` reports the deployment leg (the workload ends by serving a
 few coalesced requests through :mod:`repro.serve`) — request/pair
 counts, p50/p99 scoring latency, micro-batch occupancy, queue peak
-depth and score-cache hit rate; ``checkpoint`` reports the crash-safety
+depth and score-cache hit rate; ``stream`` reports the temporal-KG leg
+(:mod:`repro.stream`) — events applied, snapshots/compactions, live
+edges vs tombstones, delta-aware invalidation counts (retired vs
+surviving vs rewarmed pairs) and the drift-metric summary;
+``checkpoint`` reports the crash-safety
 leg when ``--checkpoint-dir`` is set — bundle writes, bytes, write-time
 stats and (with ``--resume``) the epoch the run resumed from; ``store``
 reports the zero-copy storage layer (:mod:`repro.store`) — mmap vs full
@@ -249,7 +253,42 @@ def run_profile(
             # One replayed request to exercise the score cache.
             server.request(task.pairs[:2], timeout=60)
         mem_mark("serve")
+        # Streaming leg: warm a working set, apply a few seeded event
+        # windows to an incremental StreamingGraph, and retire only the
+        # delta-affected pairs from the scorer (delta-aware
+        # invalidation) — retired warm pairs are re-extracted, the rest
+        # answer the final request from the surviving caches.
+        from repro.stream import DriftTracker, StreamingGraph, generate_events
+
+        t_stream = time.perf_counter()
+        stream_graph = StreamingGraph(task.graph)
+        stream_events = generate_events(
+            task.graph,
+            24,
+            rng=derive(seed, "stream"),
+            num_classes=task.num_classes,
+        )
+        drift = DriftTracker()
+        scorer.warm(task.pairs[:8])
+        for window in stream_events.windows(8):
+            stream_graph.apply(window)
+            snap = stream_graph.snapshot()
+            scorer.invalidate(snap.graph, delta=snap.delta)
+            added = window.added_mask
+            drift.update(
+                labels=window.labels[added],
+                num_classes=task.num_classes,
+                graph=snap.graph,
+                edge_attr=(
+                    None if window.edge_attr is None else window.edge_attr[added]
+                ),
+            )
+        scorer.score(task.pairs[:8])
+        stream_s = time.perf_counter() - t_stream
+        serve_store_info = scorer.store.cache_info()
+        mem_mark("stream")
         cache = ds.cache_info()
+        store_info = ds.store.cache_info()
 
     leaf_totals = registry.leaf_totals()
     leaf_counts = registry.leaf_counts()
@@ -257,8 +296,13 @@ def run_profile(
     plan_hits = counters.get("kernels.plan_cache.hits", 0.0)
     plan_misses = counters.get("kernels.plan_cache.misses", 0.0)
     plan_lookups = plan_hits + plan_misses
-    store_hits = counters.get("data.store.plan_cache.hits", 0.0)
-    store_misses = counters.get("data.store.plan_cache.misses", 0.0)
+    # Store-level plan-cache hit rate comes from the dataset store's
+    # *lifetime* StoreInfo counters — the per-generation pair resets on
+    # every clear()/evict() (serve invalidation does both), which made
+    # the old rate go backwards mid-run. The registry counters below
+    # aggregate every store in the process and stay monotone too.
+    store_hits = float(store_info.lifetime_plan_hits)
+    store_misses = float(store_info.lifetime_plan_misses)
     store_lookups = store_hits + store_misses
     kernels_report = {
         "plans_built": counters.get("kernels.plan.built", 0.0),
@@ -337,6 +381,34 @@ def run_profile(
             "misses": serve_misses,
             "hit_rate": serve_hits / serve_lookups if serve_lookups else 0.0,
         },
+        "subgraph_store": {
+            "generation": serve_store_info.generation,
+            "entries": serve_store_info.entries,
+            "lifetime_plan_hits": float(serve_store_info.lifetime_plan_hits),
+            "lifetime_plan_misses": float(serve_store_info.lifetime_plan_misses),
+        },
+    }
+    stream_report = {
+        "seconds": stream_s,
+        "events": {
+            "generated": counters.get("stream.events.generated", 0.0),
+            "add": counters.get("stream.events.add", 0.0),
+            "invalidate": counters.get("stream.events.invalidate", 0.0),
+            "unmatched_invalidate": counters.get(
+                "stream.events.unmatched_invalidate", 0.0
+            ),
+        },
+        "snapshots": counters.get("stream.snapshots", 0.0),
+        "compactions": counters.get("stream.compactions", 0.0),
+        "graph": stream_graph.stats(),
+        "invalidation": {
+            "full_clears": counters.get("serve.cache.invalidations", 0.0),
+            "delta": counters.get("serve.cache.delta_invalidations", 0.0),
+            "retired_pairs": counters.get("serve.cache.retired_pairs", 0.0),
+            "survivor_pairs": counters.get("serve.cache.survivor_pairs", 0.0),
+            "rewarmed_pairs": counters.get("serve.cache.rewarmed_pairs", 0.0),
+        },
+        "drift": drift.summary(),
     }
     ring_occ = registry.histograms.get("store.ring.occupancy")
     store_report = {
@@ -451,6 +523,7 @@ def run_profile(
         "kernels": kernels_report,
         "extraction": extraction_report,
         "serve": serve_report,
+        "stream": stream_report,
         "store": store_report,
         "distributed": distributed_report,
         "checkpoint": checkpoint_report,

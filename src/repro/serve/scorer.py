@@ -37,6 +37,7 @@ from repro import obs
 from repro.data.loader import collate_from_store
 from repro.data.store import SubgraphStore
 from repro.graph.structure import Graph
+from repro.graph.traversal import k_hop_union
 from repro.nn import dtype as _dtype
 from repro.nn import functional as F
 from repro.nn.module import Module
@@ -291,6 +292,15 @@ class LinkScorer:
         )
         self._slots: Dict[Tuple[int, int], int] = {}
         self._cache: Dict[Tuple[int, int], np.ndarray] = {}
+        # Slots are assigned from a monotone counter (not len(_slots)):
+        # delta invalidation removes keys from _slots, and reusing a
+        # retired key's slot for a different pair would alias its stale
+        # store entry.
+        self._next_slot = 0
+        # Pairs registered through warm(), in registration order; these
+        # are re-extracted after an invalidation retires them so warmed
+        # latency survives graph changes.
+        self._warm: Dict[Tuple[int, int], None] = {}
         self._graph_version = 0
 
     @classmethod
@@ -317,9 +327,15 @@ class LinkScorer:
         skip extraction — the usual pattern for an mmap-served graph,
         where the process boots instantly and warming is the only cold
         cost left. Returns how many distinct pairs are now extracted.
+
+        Warmed pairs stay registered: after :meth:`invalidate` retires
+        them they are re-extracted against the new graph automatically
+        (counted under ``serve.cache.rewarmed_pairs``).
         """
         pairs = _as_pairs(pairs)
         keys = list(dict.fromkeys((int(u), int(v)) for u, v in pairs))
+        for key in keys:
+            self._warm[key] = None
         slots = np.asarray([self._slot_of(k) for k in keys], dtype=np.int64)
         self._ensure_extracted(slots)
         obs.count("serve.warmed_pairs", float(len(keys)))
@@ -333,26 +349,97 @@ class LinkScorer:
         """Monotone counter bumped by every :meth:`invalidate`."""
         return self._graph_version
 
-    def invalidate(self, graph: Optional[Graph] = None) -> int:
-        """Declare the graph changed: drop scores and subgraphs.
+    def invalidate(
+        self,
+        graph: Optional[Graph] = None,
+        *,
+        delta=None,
+        rewarm: bool = True,
+    ) -> int:
+        """Declare the graph changed: retire stale scores and subgraphs.
 
-        Score-cache entries are keyed on ``(pair, graph_version)``, so
-        bumping the version retires every memoized probability; the
-        subgraph store is cleared outright (extractions depend on the
-        graph's adjacency). Pass the new :class:`Graph` to swap it in
-        (re-validated against the bundle); omit it when the caller
-        mutated the graph in place. Returns the new version.
+        Without ``delta`` this is the full clear: every memoized
+        probability and every packed subgraph is dropped (extractions
+        depend on the graph's adjacency). With ``delta`` — a
+        :class:`repro.stream.GraphDelta` or any object exposing
+        ``touched_nodes``, or a plain array of touched node ids — the
+        invalidation is **delta-aware**: only pairs whose ``num_hops``
+        neighborhood (in the old *or* the new graph) intersects the
+        touched nodes are retired. Survivors keep their packed
+        subgraphs *and* their cached scores, which is sound because an
+        enclosing subgraph disjoint from every touched node's k-hop
+        neighborhood is unchanged by the delta — its extraction, and
+        hence its probabilities, are bit-identical on the new graph.
+
+        Pass the new :class:`Graph` to swap it in (re-validated against
+        the bundle); omit it when the caller mutated the graph in place.
+        Retired pairs previously registered via :meth:`warm` are
+        re-extracted against the new graph unless ``rewarm=False``.
+        Returns the new graph version.
         """
         if graph is not None:
             _validate_compatibility(self.bundle, graph)
+        retired: List[Tuple[int, int]] = []
+        full_clear = delta is None
+        if not full_clear:
+            touched = getattr(delta, "touched_nodes", None)
+            touched = np.asarray(
+                delta if touched is None else touched, dtype=np.int64
+            ).ravel()
+            new_graph = self.graph if graph is None else graph
+            limit = min(self.graph.num_nodes, new_graph.num_nodes)
+            if touched.size and (touched.min() < 0 or touched.max() >= limit):
+                raise ValueError("delta touches nodes outside the graph")
+            # A pair's enclosing subgraph can reach a touched node
+            # through the old adjacency (an edge was removed near it) or
+            # the new one (an edge was added near it) — grow the k-hop
+            # halo in both graphs before retiring.
+            k = self.bundle.num_hops
+            affected = np.zeros(
+                max(self.graph.num_nodes, new_graph.num_nodes), dtype=bool
+            )
+            if touched.size:
+                affected[k_hop_union(self.graph, touched, k)] = True
+                if new_graph is not self.graph:
+                    affected[k_hop_union(new_graph, touched, k)] = True
+            retired = [
+                key for key in self._slots if affected[key[0]] or affected[key[1]]
+            ]
+            if len(retired) == len(self._slots) and self._slots:
+                full_clear = True  # the delta reached everything anyway
+
+        if graph is not None:
             self.graph = graph
             self._task.graph = graph
         self._graph_version += 1
-        self._cache.clear()
-        self._slots.clear()
-        self.store.clear()
-        self.store.reserve(self._capacity)
-        obs.count("serve.cache.invalidations")
+
+        if full_clear:
+            retired = list(self._warm)
+            self._cache.clear()
+            self._slots.clear()
+            self._next_slot = 0
+            self.store.clear()
+            self.store.reserve(self._capacity)
+            obs.count("serve.cache.invalidations")
+        else:
+            slots = np.asarray(
+                [self._slots.pop(key) for key in retired], dtype=np.int64
+            )
+            for key in retired:
+                self._cache.pop(key, None)
+            self.store.evict(slots)
+            obs.count("serve.cache.delta_invalidations")
+            obs.count("serve.cache.retired_pairs", float(len(retired)))
+            obs.count("serve.cache.survivor_pairs", float(len(self._slots)))
+
+        if rewarm:
+            rewarm_keys = [key for key in retired if key in self._warm]
+            if rewarm_keys:
+                slots = np.asarray(
+                    [self._slot_of(key) for key in rewarm_keys], dtype=np.int64
+                )
+                self._ensure_extracted(slots)
+                obs.count("serve.cache.rewarmed_pairs", float(len(rewarm_keys)))
         return self._graph_version
 
     # ------------------------------------------------------------------ #
@@ -362,7 +449,8 @@ class LinkScorer:
         slot = self._slots.get(key)
         if slot is not None:
             return slot
-        slot = len(self._slots)
+        slot = self._next_slot
+        self._next_slot += 1
         if slot >= self._capacity:
             self._capacity *= 2
             grown = np.empty((self._capacity, 2), dtype=np.int64)
@@ -429,8 +517,9 @@ class LinkScorer:
         pairs = _as_pairs(pairs)
         keys = [(int(u), int(v)) for u, v in pairs]
 
-        # The score cache is cleared on every graph-version bump, so a
-        # key's presence already implies the current version.
+        # Invalidation removes every stale key (all of them on a full
+        # clear, the delta-affected ones otherwise), so a key's presence
+        # already implies validity under the current version.
         fresh: List[Tuple[int, int]] = []
         seen = set()
         cache_hits = 0
@@ -512,4 +601,5 @@ class LinkScorer:
             "scores": len(self._cache),
             "subgraphs": len(self.store),
             "graph_version": self._graph_version,
+            "warm_pairs": len(self._warm),
         }

@@ -197,18 +197,36 @@ class ScoringServer:
     # ------------------------------------------------------------------ #
     # worker side
     # ------------------------------------------------------------------ #
+    def _queued_pairs(self) -> int:
+        """Pairs waiting in the queue. Caller must hold the lock."""
+        return sum(len(request.pairs) for request, _ in self._queue)
+
     def _take_batch(self) -> List[Tuple[ScoreRequest, Future]]:
         """Block until work or shutdown; drain up to the pair budget."""
+        taken: List[Tuple[ScoreRequest, Future]] = []
         with self._lock:
             while not self._queue and not self._closed:
                 self._arrived.wait()
             if not self._queue or (self._closed and not self._drain_on_stop):
                 return []
-        # Linger briefly so concurrent submitters can join this batch.
-        if self.config.batch_window_s > 0:
-            time.sleep(self.config.batch_window_s)
-        taken: List[Tuple[ScoreRequest, Future]] = []
-        with self._lock:
+            # Linger so concurrent submitters can join this batch — on
+            # the condition variable, not a fixed sleep, so the window
+            # ends the moment the pair budget fills or stop() is called
+            # (a fixed sleep made every lone submit and every shutdown
+            # pay the full window). A closing server skips the linger
+            # entirely and drains immediately. All deadline math here
+            # and in _serve_batch is time.monotonic.
+            window = self.config.batch_window_s
+            if window > 0 and not self._closed:
+                deadline = time.monotonic() + window
+                while (
+                    not self._closed
+                    and self._queued_pairs() < self.config.max_batch_pairs
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._arrived.wait(remaining)
             budget = self.config.max_batch_pairs
             total = 0
             while self._queue:

@@ -1,0 +1,389 @@
+"""Incremental graph maintenance with epoch-versioned CSR snapshots.
+
+:class:`StreamingGraph` keeps one mutable arc table in **insertion
+order** (the base graph's arcs, then every added arc appended at the
+end) plus an incrementally maintained **sorted index** over it:
+
+- adds are appended to the master table and merged into the sorted
+  index with ``np.searchsorted`` + ``np.insert`` (no re-sort: within a
+  source bucket existing arcs keep their order with new arcs after
+  them — exactly what a stable argsort of the master's source column
+  produces);
+- invalidations flip an ``alive`` bit on both arc directions of the
+  first live matching edge, and the dead rows are physically dropped by
+  periodic compaction.
+
+``snapshot()`` freezes the current state into an ordinary immutable
+:class:`repro.graph.Graph`. The storage arrays are the master table
+(insertion order) and the CSR is assembled directly from the sorted
+index (``indptr`` from a bincount prefix sum, ``indices``/``edge_ids``
+gathered through it) and handed to :class:`repro.store.GraphStorage`
+precomputed — snapshotting never pays the O(E log E) argsort the static
+constructor would, yet yields byte-for-byte the CSR that argsort would
+build.
+
+Keeping the storage in insertion order is load-bearing for serving:
+surviving arcs keep their arc *ids* (adds only append; compaction only
+drops) and therefore their relative order. Subgraph extraction orders a
+subgraph's edges by arc id, so a pair whose neighborhood the delta did
+not touch extracts — and scores — bit-identically on consecutive
+snapshots, which is what lets ``repro.serve``'s delta-aware
+invalidation keep survivors' cached results.
+
+Every snapshot carries a :class:`GraphDelta` — the exact added/removed
+undirected pairs since the previous snapshot — which is what
+``repro.serve`` consumes for delta-aware cache invalidation. Each
+snapshot is a full citizen of the ``repro.store`` format:
+``save()``/``open(mmap=True)`` work unchanged, so old epochs stay
+zero-copy readable while the stream moves on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, NamedTuple, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.graph.structure import Graph
+from repro.store.graph_storage import GraphStorage
+from repro.stream.events import ADD_EDGE, INVALIDATE_EDGE, EventBatch
+
+__all__ = ["GraphDelta", "Snapshot", "StreamingGraph"]
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """What changed between two snapshot versions.
+
+    ``added`` / ``removed`` are ``(K, 2)`` undirected node pairs (one
+    row per edge event that took effect). ``touched_nodes`` — the
+    deduped union of their endpoints — is the seed set delta-aware
+    invalidation grows k-hop neighborhoods from.
+    """
+
+    from_version: int
+    to_version: int
+    added: np.ndarray
+    removed: np.ndarray
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.added) == 0 and len(self.removed) == 0
+
+    @property
+    def touched_nodes(self) -> np.ndarray:
+        """Sorted unique endpoints of every added/removed edge."""
+        parts = [self.added.ravel(), self.removed.ravel()]
+        return np.unique(np.concatenate(parts)).astype(np.int64)
+
+    def merge(self, other: "GraphDelta") -> "GraphDelta":
+        """Compose with the delta that follows this one.
+
+        Conservative union: an edge added then removed inside the merged
+        span appears in both lists, which only ever widens the retired
+        set downstream — never misses an affected pair.
+        """
+        if other.from_version != self.to_version:
+            raise ValueError(
+                f"cannot merge delta ending at v{self.to_version} with one "
+                f"starting at v{other.from_version}"
+            )
+        return GraphDelta(
+            from_version=self.from_version,
+            to_version=other.to_version,
+            added=np.concatenate([self.added, other.added]),
+            removed=np.concatenate([self.removed, other.removed]),
+        )
+
+
+class Snapshot(NamedTuple):
+    """One epoch-versioned frozen view of the streaming graph."""
+
+    version: int
+    graph: Graph
+    delta: GraphDelta
+    path: Optional[Path] = None
+
+
+class StreamingGraph:
+    """Mutable graph accepting event batches, emitting frozen snapshots.
+
+    Parameters
+    ----------
+    base: the version-0 graph (any :class:`repro.graph.Graph`).
+    compact_every: compact tombstoned rows out of the arc table at the
+        latest every this many snapshots (and earlier once a quarter of
+        the table is dead).
+    snapshot_dir: when given, each snapshot is also persisted with
+        ``Graph.save`` under ``snapshot_dir/snapshot_NNNNNN`` so old
+        epochs remain mmap-openable after the process exits.
+
+    The version-0 snapshot is ``base`` itself — same storage order, same
+    arc ids — so extraction (which orders subgraph edges by arc id) is
+    bit-for-bit the offline path. Later snapshots keep the insertion
+    order (appends at the end, compaction preserves relative order), so
+    arcs untouched by the stream extract bit-identically across
+    versions.
+    """
+
+    def __init__(
+        self,
+        base: Graph,
+        *,
+        compact_every: int = 8,
+        snapshot_dir=None,
+    ):
+        if compact_every <= 0:
+            raise ValueError("compact_every must be positive")
+        self._base = base
+        self.num_nodes = base.num_nodes
+        self._node_type = base.node_type
+        self._node_features = base.node_features
+        # Master arc table, insertion order (base order, appends at end).
+        self._src = np.ascontiguousarray(base.edge_index[0])
+        self._dst = np.ascontiguousarray(base.edge_index[1])
+        self._etype = np.ascontiguousarray(base.edge_type)
+        self._eattr = (
+            None if base.edge_attr is None else np.ascontiguousarray(base.edge_attr)
+        )
+        # Sorted index: master positions in (src, insertion) order, plus
+        # the gathered source column to searchsorted against.
+        self._order = np.argsort(self._src, kind="stable")
+        self._sorted_src = self._src[self._order]
+        self._alive = np.ones(self._src.size, dtype=bool)
+        self._dead = 0
+        self.compact_every = int(compact_every)
+        self.snapshot_dir = None if snapshot_dir is None else Path(snapshot_dir)
+        self._version = 0
+        self._dirty = False
+        self._pending_added: List[np.ndarray] = []
+        self._pending_removed: List[np.ndarray] = []
+        self._cached: Optional[Snapshot] = None
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Snapshot epoch of the current state (0 = the base graph)."""
+        return self._version
+
+    @property
+    def live_edges(self) -> int:
+        """Undirected live edge count."""
+        return (self._src.size - self._dead) // 2
+
+    @property
+    def tombstones(self) -> int:
+        """Dead arcs awaiting compaction."""
+        return self._dead
+
+    def stats(self) -> dict:
+        return {
+            "version": self._version,
+            "num_nodes": self.num_nodes,
+            "live_edges": self.live_edges,
+            "tombstone_arcs": self._dead,
+            "table_arcs": int(self._src.size),
+        }
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def apply(self, events: EventBatch) -> None:
+        """Apply one event batch (all adds, then all invalidations).
+
+        Within a batch, adds land before invalidations so a batch that
+        publishes and retracts the same edge nets out to no edge.
+        Invalidations that match no live edge are counted
+        (``stream.events.unmatched_invalidate``) and skipped — they
+        contribute nothing to the delta.
+        """
+        if len(events) == 0:
+            return
+        pairs = np.asarray(events.pairs, dtype=np.int64)
+        if pairs.size and (pairs.min() < 0 or pairs.max() >= self.num_nodes):
+            raise ValueError("event pairs reference nodes outside the graph")
+        add = events.added_mask
+        if np.any(add):
+            self._apply_adds(events.slice(0, len(events)), add)
+        inv = ~add
+        if np.any(inv):
+            self._apply_invalidations(pairs[inv])
+        self._dirty = True
+        self._cached = None
+        obs.count("stream.events.add", float(np.count_nonzero(add)))
+        obs.count("stream.events.invalidate", float(np.count_nonzero(inv)))
+        obs.gauge("stream.edges.live", float(self.live_edges))
+        obs.gauge("stream.edges.tombstones", float(self._dead))
+
+    def _apply_adds(self, events: EventBatch, mask: np.ndarray) -> None:
+        u = events.pairs[mask, 0]
+        v = events.pairs[mask, 1]
+        etype = events.edge_type[mask]
+        eattr = None if events.edge_attr is None else events.edge_attr[mask]
+        if self._eattr is not None:
+            if eattr is None:
+                raise ValueError("graph carries edge_attr but events have none")
+            if eattr.shape[1] != self._eattr.shape[1]:
+                raise ValueError(
+                    f"event edge_attr width {eattr.shape[1]} != graph's "
+                    f"{self._eattr.shape[1]}"
+                )
+        # Both arc directions, interleaved like Graph.from_undirected
+        # (arc 2i is u->v, arc 2i+1 is v->u), appended to the master
+        # table — existing arcs keep their ids, which is what keeps
+        # untouched subgraphs extraction-bit-identical across versions.
+        first = self._src.size
+        arc_src = np.empty(2 * u.size, dtype=np.int64)
+        arc_dst = np.empty(2 * u.size, dtype=np.int64)
+        arc_src[0::2], arc_src[1::2] = u, v
+        arc_dst[0::2], arc_dst[1::2] = v, u
+        arc_type = np.repeat(etype, 2)
+        self._src = np.concatenate([self._src, arc_src])
+        self._dst = np.concatenate([self._dst, arc_dst])
+        self._etype = np.concatenate([self._etype, arc_type])
+        if self._eattr is not None:
+            arc_attr = np.repeat(np.asarray(eattr, dtype=self._eattr.dtype), 2, axis=0)
+            self._eattr = np.concatenate([self._eattr, arc_attr])
+        self._alive = np.concatenate(
+            [self._alive, np.ones(arc_src.size, dtype=bool)]
+        )
+        # Merge the new positions into the sorted index: stable bucketing
+        # plus side="right" insertion keeps each source bucket in
+        # insertion order — what a stable argsort of the master's source
+        # column would produce.
+        order = np.argsort(arc_src, kind="stable")
+        pos = np.searchsorted(self._sorted_src, arc_src[order], side="right")
+        self._sorted_src = np.insert(self._sorted_src, pos, arc_src[order])
+        self._order = np.insert(self._order, pos, first + order)
+        self._pending_added.append(np.stack([u, v], axis=1))
+
+    def _apply_invalidations(self, pairs: np.ndarray) -> None:
+        removed = []
+        for u, v in pairs:
+            a = self._kill_arc(int(u), int(v))
+            b = self._kill_arc(int(v), int(u)) if a else False
+            if a and b:
+                self._dead += 2
+                removed.append((int(u), int(v)))
+            else:
+                obs.count("stream.events.unmatched_invalidate")
+        if removed:
+            self._pending_removed.append(np.asarray(removed, dtype=np.int64))
+
+    def _kill_arc(self, s: int, d: int) -> bool:
+        lo = int(np.searchsorted(self._sorted_src, s, side="left"))
+        hi = int(np.searchsorted(self._sorted_src, s, side="right"))
+        rows = self._order[lo:hi]
+        hit = np.flatnonzero((self._dst[rows] == d) & self._alive[rows])
+        if hit.size == 0:
+            return False
+        self._alive[rows[hit[0]]] = False
+        return True
+
+    def _compact(self) -> None:
+        keep = self._alive
+        newpos = np.cumsum(keep) - 1
+        self._src = self._src[keep]
+        self._dst = self._dst[keep]
+        self._etype = self._etype[keep]
+        if self._eattr is not None:
+            self._eattr = self._eattr[keep]
+        live = keep[self._order]
+        self._order = newpos[self._order[live]]
+        self._sorted_src = self._sorted_src[live]
+        self._alive = np.ones(self._src.size, dtype=bool)
+        self._dead = 0
+        obs.count("stream.compactions")
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Snapshot:
+        """Freeze the current state into an epoch-versioned ``Graph``.
+
+        Bumps the version only when events were applied since the last
+        snapshot; with nothing pending the previous snapshot is returned
+        unchanged (same ``Graph`` object, empty delta), so repeated
+        snapshotting of a quiet stream is free.
+        """
+        if self._cached is not None and not self._dirty:
+            return self._cached
+        from_version = self._version
+        if self._dirty:
+            self._version += 1
+            # Compact on schedule, or eagerly once a quarter of the
+            # table is tombstones — keeps applies O(live + dead/4).
+            if self._dead and (
+                self._version % self.compact_every == 0
+                or 4 * self._dead >= self._src.size
+            ):
+                self._compact()
+        if self._version == 0:
+            # An untouched stream's snapshot is the base graph *object*:
+            # same storage order and arc ids, so downstream extraction
+            # (which orders subgraph edges by arc id) is bit-for-bit the
+            # offline path, not merely CSR-equivalent.
+            graph = self._base
+        else:
+            if self._dead:
+                keep = self._alive
+                newpos = np.cumsum(keep) - 1
+                src, dst = self._src[keep], self._dst[keep]
+                etype = self._etype[keep]
+                eattr = None if self._eattr is None else self._eattr[keep]
+                live = keep[self._order]
+                sorted_ids = newpos[self._order[live]]
+            else:
+                # No tombstones: alias the internal arrays. Safe because
+                # apply() only ever replaces them (concatenate/insert
+                # copy) and in-place mutation is confined to the alive
+                # bitmap.
+                src, dst, etype, eattr = self._src, self._dst, self._etype, self._eattr
+                sorted_ids = self._order
+            # The sorted index IS the stable-argsort permutation
+            # Graph.csr() would compute over this storage: hand the CSR
+            # over precomputed instead of paying the O(E log E) sort.
+            indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+            np.cumsum(np.bincount(src, minlength=self.num_nodes), out=indptr[1:])
+            storage = GraphStorage(
+                self.num_nodes,
+                np.stack([src, dst]),
+                node_type=self._node_type,
+                edge_type=etype,
+                node_features=self._node_features,
+                edge_attr=eattr,
+                csr=(indptr, dst[sorted_ids], sorted_ids),
+            )
+            graph = Graph.from_storage(storage)
+        delta = GraphDelta(
+            from_version=from_version,
+            to_version=self._version,
+            added=(
+                np.concatenate(self._pending_added)
+                if self._pending_added
+                else np.empty((0, 2), dtype=np.int64)
+            ),
+            removed=(
+                np.concatenate(self._pending_removed)
+                if self._pending_removed
+                else np.empty((0, 2), dtype=np.int64)
+            ),
+        )
+        path = None
+        if self.snapshot_dir is not None:
+            path = self.snapshot_dir / f"snapshot_{self._version:06d}"
+            if not (path / "meta.json").exists():
+                graph.save(path)
+            graph = Graph.open(path, mmap=True)
+        snap = Snapshot(version=self._version, graph=graph, delta=delta, path=path)
+        self._pending_added = []
+        self._pending_removed = []
+        self._dirty = False
+        self._cached = snap
+        obs.count("stream.snapshots")
+        return snap

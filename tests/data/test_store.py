@@ -181,3 +181,76 @@ class TestFloatDtype:
             )
         )
         assert s32.cache_info().nbytes == expected
+
+
+class TestEvict:
+    """Per-entry retirement (the delta-aware invalidation primitive)."""
+
+    def test_evicted_entries_become_absent_survivors_stay(self):
+        store = SubgraphStore(6, 4)
+        for i in range(4):
+            store.put(make_sample(i, 10 + i, 20 + i))
+        assert store.evict([1, 3]) == 2
+        assert len(store) == 2
+        assert 1 not in store and 3 not in store
+        assert 0 in store and 2 in store
+        np.testing.assert_array_equal(store.missing([0, 1, 2, 3]), [1, 3])
+        # Survivors read back untouched.
+        assert store.get(0).num_nodes == 10
+        assert store.get(2).num_edges == 22
+        with pytest.raises(KeyError):
+            store.get(1)
+
+    def test_evicted_slot_is_reusable(self):
+        store = SubgraphStore(4, 4)
+        store.put(make_sample(0, 5, 8))
+        store.evict([0])
+        store.put(make_sample(0, 7, 9))
+        assert store.get(0).num_nodes == 7
+
+    def test_evict_bumps_generation_and_drops_plans(self):
+        store = SubgraphStore(4, 4)
+        store.put(make_sample(0, 5, 8))
+        store.plan_store(b"key", object())
+        g = store.generation
+        salt = store.plan_salt
+        store.evict([0])
+        assert store.generation == g + 1
+        assert store.plan_salt != salt
+        assert store.plan_lookup(b"key") is None
+
+    def test_evicting_absent_or_nothing_is_free(self):
+        store = SubgraphStore(4, 4)
+        store.put(make_sample(0, 5, 8))
+        g = store.generation
+        assert store.evict([]) == 0
+        assert store.evict([2, 3]) == 0  # never stored
+        assert store.generation == g  # no-op evictions don't churn plans
+
+    def test_out_of_range_eviction_rejected(self):
+        store = SubgraphStore(4, 4)
+        with pytest.raises(IndexError):
+            store.evict([4])
+
+
+class TestLifetimeCounters:
+    """Per-generation counters reset on clear; lifetime ones never do."""
+
+    def test_lifetime_plan_counters_survive_clear(self):
+        store = SubgraphStore(4, 4)
+        assert store.plan_lookup(b"k") is None  # miss
+        store.plan_store(b"k", object())
+        assert store.plan_lookup(b"k") is not None  # hit
+        store.clear()
+        assert store.plan_lookup(b"k") is None  # post-clear miss
+        info = store.cache_info()
+        assert (info.plan_hits, info.plan_misses) == (0, 1)
+        assert (info.lifetime_plan_hits, info.lifetime_plan_misses) == (1, 2)
+
+    def test_generation_bumped_by_clear(self):
+        store = SubgraphStore(4, 4)
+        g = store.generation
+        store.clear()
+        store.clear()
+        assert store.generation == g + 2
+        assert store.cache_info().generation == g + 2

@@ -102,6 +102,7 @@ class TestScoreCache:
         assert sc.invalidate() == v0 + 1
         assert sc.cache_info() == {
             "scores": 0, "subgraphs": 0, "graph_version": v0 + 1,
+            "warm_pairs": 0,
         }
         after = sc.score(task.pairs[:3])
         assert not after.cached.any()

@@ -1,5 +1,7 @@
 """ScoringServer: coalescing, admission control, deadlines, shutdown."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -140,3 +142,45 @@ class TestInvalidationUnderServer:
         assert warm.ok and cold.ok
         assert not cold.cached.any()
         np.testing.assert_array_equal(warm.probs, cold.probs)
+
+
+class TestBatchWindow:
+    """The linger window waits on the condition variable, not a sleep."""
+
+    def test_stop_interrupts_a_long_window(self, bundle, task):
+        """A huge batch window must not delay shutdown: stop() notifies
+        the condition variable and the worker drains immediately."""
+        config = ServeConfig(batch_window_s=60.0)
+        server = ScoringServer(scorer_for(bundle, task), config).start()
+        future = server.submit(task.pairs[:2], request_id="r")
+        t0 = time.monotonic()
+        server.stop()  # must not wait out the 60 s window
+        elapsed = time.monotonic() - t0
+        assert elapsed < 30.0
+        outcome = future.result(timeout=1)
+        assert outcome.ok and outcome.request_id == "r"
+
+    def test_full_pair_budget_ends_the_window_early(self, bundle, task):
+        """Once queued pairs reach max_batch_pairs the worker stops
+        lingering — submitters are not held for the rest of the window."""
+        config = ServeConfig(max_batch_pairs=4, batch_window_s=60.0)
+        server = ScoringServer(scorer_for(bundle, task), config)
+        futures = [server.submit(task.pairs[lo : lo + 2]) for lo in (0, 2)]
+        with server:
+            t0 = time.monotonic()
+            outcomes = [f.result(timeout=30) for f in futures]
+            elapsed = time.monotonic() - t0
+        assert all(o.ok for o in outcomes)
+        assert elapsed < 30.0
+
+    def test_closing_server_skips_the_window_when_draining(self, bundle, task):
+        config = ServeConfig(batch_window_s=60.0)
+        server = ScoringServer(scorer_for(bundle, task), config)
+        future = server.submit(task.pairs[:2])
+        # start() after stop-worthy backlog: enter and exit immediately;
+        # the drain pass must not linger per batch.
+        t0 = time.monotonic()
+        with server:
+            server.stop()
+            assert future.result(timeout=30).ok
+        assert time.monotonic() - t0 < 30.0

@@ -1,0 +1,242 @@
+"""StreamingGraph: incremental CSR snapshots vs from-scratch rebuilds."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import barabasi_albert_edges
+from repro.graph.structure import Graph
+from repro.stream import (
+    GraphDelta,
+    StreamingGraph,
+    events_from_links,
+    generate_events,
+)
+
+pytestmark = pytest.mark.stream
+
+
+def make_graph(n=150, seed=0):
+    edges = barabasi_albert_edges(n, 3, rng=seed)
+    rng = np.random.default_rng(seed)
+    etype = rng.integers(0, 4, len(edges))
+    return Graph.from_undirected(
+        n,
+        edges,
+        node_type=rng.integers(0, 3, n),
+        edge_type=etype,
+        edge_attr=np.eye(4)[etype],
+    )
+
+
+def arc_multiset(graph):
+    """Canonical sorted view of (src, dst, type, attr-argmax) rows."""
+    src, dst = graph.edge_index
+    attr = (
+        graph.edge_attr.argmax(axis=1)
+        if graph.edge_attr is not None
+        else np.zeros_like(src)
+    )
+    rows = np.stack([src, dst, graph.edge_type, attr], axis=1)
+    return rows[np.lexsort(rows.T[::-1])]
+
+
+class TestVersionZero:
+    def test_snapshot_is_the_base_graph(self):
+        """Version 0 of an untouched stream IS the base graph object —
+        same storage order and arc ids, so extraction (which orders
+        subgraph edges by arc id) is bit-for-bit the offline path."""
+        g = make_graph()
+        snap = StreamingGraph(g).snapshot()
+        assert snap.version == 0
+        assert snap.delta.is_empty
+        assert snap.graph is g
+
+    def test_net_noop_mutation_preserves_csr_traversal(self):
+        """Add an edge then retract it: the v2 table re-ordering must
+        leave every CSR traversal sequence (neighbors, types, attrs)
+        identical to the base graph's."""
+        g = make_graph()
+        sg = StreamingGraph(g)
+        churn = events_from_links(
+            np.array([[0, 99]]), np.array([1]), edge_attr=np.eye(4)[[1]]
+        )
+        sg.apply(churn)
+        sg.snapshot()
+        sg.apply(
+            events_from_links(
+                np.array([[0, 99]]), np.array([1]), kind=1,
+                edge_attr=np.eye(4)[[1]],
+            )
+        )
+        snap = sg.snapshot()
+        assert snap.version == 2
+        i0, d0, e0 = g.csr()
+        i1, d1, e1 = snap.graph.csr()
+        np.testing.assert_array_equal(i0, i1)
+        np.testing.assert_array_equal(d0, d1)
+        np.testing.assert_array_equal(g.edge_type[e0], snap.graph.edge_type[e1])
+        np.testing.assert_array_equal(g.edge_attr[e0], snap.graph.edge_attr[e1])
+        np.testing.assert_array_equal(g.node_type, snap.graph.node_type)
+
+    def test_quiet_snapshot_is_idempotent(self):
+        sg = StreamingGraph(make_graph())
+        a, b = sg.snapshot(), sg.snapshot()
+        assert a.graph is b.graph and a.version == b.version == 0
+
+
+class TestApply:
+    def test_incremental_equals_rebuild(self):
+        """After any add/invalidate mix, the snapshot's edge multiset
+        equals a from-scratch Graph built from the surviving edges."""
+        g = make_graph()
+        ev = generate_events(g, 120, rng=9, add_fraction=0.6)
+        sg = StreamingGraph(g)
+        sg.apply(ev)
+        snap = sg.snapshot()
+        assert snap.version == 1
+
+        # Replay naively over an undirected edge list.
+        und = {}
+        src, dst = g.edge_index
+        for i in range(0, g.num_edges, 2):
+            u, v = int(src[i]), int(dst[i])
+            key = (min(u, v), max(u, v))
+            und.setdefault(key, []).append((int(g.edge_type[i]), int(g.edge_attr[i].argmax())))
+        for i in range(len(ev)):
+            u, v = sorted(map(int, ev.pairs[i]))
+            if ev.kinds[i] == 0:
+                und.setdefault((u, v), []).append(
+                    (int(ev.edge_type[i]), int(ev.edge_attr[i].argmax()))
+                )
+            else:
+                und[(u, v)].pop(0)
+        pairs, etypes = [], []
+        for (u, v), variants in und.items():
+            for t, a in variants:
+                pairs.append((u, v))
+                etypes.append(t)
+        pairs = np.asarray(pairs, dtype=np.int64)
+        etypes = np.asarray(etypes, dtype=np.int64)
+        rebuilt = Graph.from_undirected(
+            g.num_nodes,
+            pairs,
+            node_type=g.node_type,
+            edge_type=etypes,
+            edge_attr=np.eye(4)[etypes],
+        )
+        np.testing.assert_array_equal(arc_multiset(snap.graph), arc_multiset(rebuilt))
+        # CSR invariants of the precomputed (sort-free) construction.
+        indptr, indices, edge_ids = snap.graph.csr()
+        assert indptr[-1] == snap.graph.num_edges
+        np.testing.assert_array_equal(
+            np.diff(indptr), np.bincount(snap.graph.edge_index[0], minlength=g.num_nodes)
+        )
+
+    def test_delta_reports_what_changed(self):
+        g = make_graph()
+        sg = StreamingGraph(g)
+        add = events_from_links(
+            np.array([[1, 50], [2, 60]]), np.array([0, 1]),
+            edge_attr=np.eye(4)[[0, 1]],
+        )
+        sg.apply(add)
+        snap = sg.snapshot()
+        np.testing.assert_array_equal(snap.delta.added, [[1, 50], [2, 60]])
+        assert len(snap.delta.removed) == 0
+        np.testing.assert_array_equal(snap.delta.touched_nodes, [1, 2, 50, 60])
+        assert snap.delta.from_version == 0 and snap.delta.to_version == 1
+
+    def test_unmatched_invalidation_skipped(self, tiny_graph):
+        import repro.obs as obs
+
+        sg = StreamingGraph(tiny_graph)
+        before = sg.live_edges
+        ghost = events_from_links(
+            np.array([[0, 5]]), np.array([0]), kind=1,
+            edge_attr=np.eye(tiny_graph.edge_attr.shape[1])[[0]],
+        )
+        with obs.capture() as reg:
+            sg.apply(ghost)
+        snap = sg.snapshot()
+        assert sg.live_edges == before
+        assert len(snap.delta.removed) == 0
+        assert reg.counters["stream.events.unmatched_invalidate"] == 1.0
+
+    def test_out_of_range_pairs_rejected(self, tiny_graph):
+        sg = StreamingGraph(tiny_graph)
+        bad = events_from_links(
+            np.array([[0, 99]]), np.array([0]),
+            edge_attr=np.eye(tiny_graph.edge_attr.shape[1])[[0]],
+        )
+        with pytest.raises(ValueError):
+            sg.apply(bad)
+
+    def test_attr_width_mismatch_rejected(self, tiny_graph):
+        sg = StreamingGraph(tiny_graph)
+        wrong = events_from_links(
+            np.array([[0, 1]]), np.array([0]), edge_attr=np.ones((1, 7))
+        )
+        with pytest.raises(ValueError):
+            sg.apply(wrong)
+
+
+class TestCompaction:
+    def test_tombstones_compacted_on_schedule(self):
+        g = make_graph()
+        sg = StreamingGraph(g, compact_every=2)
+        src, dst = g.edge_index
+        kill = events_from_links(
+            np.stack([src[:8:2], dst[:8:2]], axis=1),
+            np.zeros(4, np.int64),
+            kind=1,
+            edge_attr=np.eye(4)[np.zeros(4, np.int64)],
+        )
+        sg.apply(kill.slice(0, 2))
+        s1 = sg.snapshot()
+        assert sg.tombstones == 4  # 2 undirected edges = 4 arcs
+        sg.apply(kill.slice(2, 4))
+        s2 = sg.snapshot()  # version 2 -> compaction fires
+        assert sg.tombstones == 0
+        assert s2.graph.num_edges == g.num_edges - 8
+        assert s1.graph.num_edges == g.num_edges - 4
+
+    def test_eager_compaction_when_mostly_dead(self):
+        g = Graph.from_undirected(6, np.array([[0, 1], [1, 2], [2, 3], [3, 4]]))
+        sg = StreamingGraph(g, compact_every=100)
+        kill = events_from_links(
+            np.array([[0, 1], [1, 2], [2, 3]]), np.zeros(3, np.int64), kind=1
+        )
+        sg.apply(kill)
+        sg.snapshot()  # 6 of 8 arcs dead >= quarter -> eager compact
+        assert sg.tombstones == 0
+
+
+class TestPersistence:
+    def test_snapshots_stay_mmap_readable(self, tmp_path):
+        g = make_graph(80)
+        sg = StreamingGraph(g, snapshot_dir=tmp_path)
+        s0 = sg.snapshot()
+        sg.apply(
+            events_from_links(
+                np.array([[0, 40]]), np.array([2]), edge_attr=np.eye(4)[[2]]
+            )
+        )
+        s1 = sg.snapshot()
+        assert s0.path is not None and s1.path is not None
+        old = Graph.open(s0.path, mmap=True)
+        new = Graph.open(s1.path, mmap=True)
+        assert old.num_edges == g.num_edges
+        assert new.num_edges == g.num_edges + 2
+        np.testing.assert_array_equal(arc_multiset(old), arc_multiset(s0.graph))
+        np.testing.assert_array_equal(arc_multiset(new), arc_multiset(s1.graph))
+
+
+class TestGraphDelta:
+    def test_merge_composes_versions(self):
+        a = GraphDelta(0, 1, np.array([[0, 1]]), np.empty((0, 2), np.int64))
+        b = GraphDelta(1, 2, np.empty((0, 2), np.int64), np.array([[2, 3]]))
+        m = a.merge(b)
+        assert (m.from_version, m.to_version) == (0, 2)
+        np.testing.assert_array_equal(m.touched_nodes, [0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            b.merge(a)
